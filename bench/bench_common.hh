@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: each bench regenerates one
+ * table/figure of the paper's evaluation section and prints the paper's
+ * reported numbers next to the measured ones. Absolute values are not
+ * expected to match (the substrate is a simulator); the shape is what
+ * is being reproduced.
+ */
+
+#ifndef EL_BENCH_COMMON_HH
+#define EL_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "guest/workloads.hh"
+#include "harness/exec.hh"
+#include "harness/native.hh"
+#include "support/stats.hh"
+#include "support/strfmt.hh"
+
+namespace el::bench
+{
+
+/** Per-bucket cycle fractions of a translated run. */
+struct Distribution
+{
+    double hot = 0, cold = 0, overhead = 0, native = 0, idle = 0;
+};
+
+inline Distribution
+distributionOf(const core::Runtime &rt)
+{
+    const auto &st = const_cast<core::Runtime &>(rt).machine().stats();
+    double tot = st.totalCycles();
+    Distribution d;
+    if (tot <= 0)
+        return d;
+    d.hot = st.cycles[0] / tot;
+    d.cold = st.cycles[1] / tot;
+    d.overhead = st.cycles[2] / tot;
+    d.native = st.cycles[3] / tot;
+    d.idle = st.cycles[4] / tot;
+    return d;
+}
+
+inline std::string
+pct(double v)
+{
+    return strfmt("%5.1f%%", v * 100.0);
+}
+
+inline void
+banner(const char *title, const char *paper_ref)
+{
+    std::printf("==================================================="
+                "===========================\n");
+    std::printf("%s\n(reproduces %s of \"IA-32 Execution Layer\", "
+                "MICRO 2003)\n", title, paper_ref);
+    std::printf("==================================================="
+                "===========================\n");
+}
+
+} // namespace el::bench
+
+#endif // EL_BENCH_COMMON_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Section 5's misalignment case study: "one workload that initially
+ * took 1236 seconds to complete, completed after 133 seconds when
+ * adding misalignment detection and avoidance" (~9.3x). This bench runs
+ * a misalignment-heavy kernel with avoidance disabled and enabled.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace el;
+
+int
+main()
+{
+    bench::banner("Misalignment detection & avoidance case study",
+                  "section 5 (1236s -> 133s)");
+
+    guest::WorkloadParams p;
+    p.outer_iters = 60;
+    p.size = 12000;
+    p.misaligned = 2; // every 4-byte access is 2-byte misaligned
+    guest::Workload w = guest::buildMatrix("misaligned-app", p);
+
+    core::Options off;
+    off.enable_misalign_avoidance = false;
+    off.max_run_cycles = 8ULL * 1000 * 1000 * 1000; // let it finish
+    harness::TranslatedRun raw =
+        harness::runTranslated(w.image, w.params.abi, off);
+    harness::TranslatedRun avoid =
+        harness::runTranslated(w.image, w.params.abi);
+
+    Table t({"configuration", "cycles", "misaligned accesses",
+             "relative time"});
+    t.addRow({"no avoidance", strfmt("%.0f", raw.outcome.cycles),
+              strfmt("%llu", (unsigned long long)
+                     raw.runtime->machine().misalignedAccesses()),
+              "1.00x"});
+    t.addRow({"3-stage detection+avoidance",
+              strfmt("%.0f", avoid.outcome.cycles),
+              strfmt("%llu", (unsigned long long)
+                     avoid.runtime->machine().misalignedAccesses()),
+              strfmt("%.2fx faster",
+                     raw.outcome.cycles / avoid.outcome.cycles)});
+    t.addRow({"(paper)", "1236s -> 133s", "",
+              "9.29x faster"});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("stage transitions: %llu block regenerations, "
+                "%llu misalignment events recorded\n",
+                (unsigned long long)avoid.runtime->translator()
+                    .stats.get("misalign.block_regenerations"),
+                (unsigned long long)avoid.runtime->translator()
+                    .stats.get("misalign.events"));
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Section 5's speculation success rates: TOS/TAG (99-100%), MMX/FP
+ * domain (~100%), SSE format conversions (<0.2% worst case). Measured
+ * as guard-failure events per block execution across the FP suite.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace el;
+
+int
+main()
+{
+    bench::banner("FP/MMX/SSE speculation success rates", "section 5");
+
+    uint64_t tos_miss = 0, tag_miss = 0, dom_miss = 0, fmt_miss = 0;
+    uint64_t link_exits = 0, executions = 0;
+    for (guest::Workload &w : guest::specFpSuite()) {
+        harness::TranslatedRun tr =
+            harness::runTranslated(w.image, w.params.abi);
+        StatGroup &st = tr.runtime->stats();
+        tos_miss += st.get("guard.tos_miss");
+        tag_miss += st.get("guard.tag_miss");
+        dom_miss += st.get("guard.domain_miss");
+        fmt_miss += st.get("guard.format_miss");
+        link_exits += st.get("exits.link_miss") +
+                      st.get("links.patched") +
+                      st.get("exits.indirect_miss");
+        // Block executions ~ retired blocks; approximate with guard-
+        // bearing block entries = hot+cold block entries. Use retired
+        // branches as a proxy: every block ends with one.
+        executions += static_cast<uint64_t>(
+            tr.runtime->machine().stats().insns[0] / 20 +
+            tr.runtime->machine().stats().insns[1] / 10);
+    }
+
+    auto rate = [&](uint64_t miss) {
+        return executions ? 100.0 * (1.0 - static_cast<double>(miss) /
+                                               executions)
+                          : 100.0;
+    };
+
+    Table t({"speculation", "misses", "success (ours)", "paper"});
+    t.addRow({"FP TOS", strfmt("%llu", (unsigned long long)tos_miss),
+              strfmt("%.2f%%", rate(tos_miss)), "99-100%"});
+    t.addRow({"FP TAG", strfmt("%llu", (unsigned long long)tag_miss),
+              strfmt("%.2f%%", rate(tag_miss)), "99-100%"});
+    t.addRow({"MMX/FP domain", strfmt("%llu", (unsigned long long)dom_miss),
+              strfmt("%.2f%%", rate(dom_miss)), "~100%"});
+    t.addRow({"SSE format", strfmt("%llu", (unsigned long long)fmt_miss),
+              strfmt("%.2f%%", rate(fmt_miss)), ">99.8%"});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("(block executions approximated: %llu)\n",
+                (unsigned long long)executions);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The section-5 FP machinery end to end: an x87 kernel with heavy FXCH
+ * traffic, an MMX kernel, and an SSE kernel run under IA-32 EL; the
+ * showcase reports the TOS/TAG/domain/format speculation activity and
+ * cross-checks every result against the reference interpreter.
+ */
+
+#include <cstdio>
+
+#include "guest/workloads.hh"
+#include "harness/exec.hh"
+
+using namespace el;
+
+int
+main()
+{
+    guest::WorkloadParams p;
+    p.outer_iters = 20;
+    p.size = 2000;
+
+    guest::Workload kernels[] = {
+        guest::buildFpKernel("x87-daxpy", p),
+        guest::buildMmxKernel("mmx-packed", p),
+        guest::buildSseKernel("sse-packed", p),
+    };
+
+    for (guest::Workload &w : kernels) {
+        harness::Outcome ref =
+            harness::runInterpreter(w.image, w.params.abi);
+        harness::TranslatedRun tr =
+            harness::runTranslated(w.image, w.params.abi);
+        StatGroup &rs = tr.runtime->stats();
+        StatGroup &ts = tr.runtime->translator().stats;
+
+        std::printf("%-12s exit=%3d (interp %3d)  %s\n", w.name.c_str(),
+                    tr.outcome.exit_code, ref.exit_code,
+                    tr.outcome.exit_code == ref.exit_code ? "OK"
+                                                          : "MISMATCH");
+        std::printf("  guard failures: TOS=%llu TAG=%llu domain=%llu "
+                    "format=%llu\n",
+                    (unsigned long long)rs.get("guard.tos_miss"),
+                    (unsigned long long)rs.get("guard.tag_miss"),
+                    (unsigned long long)rs.get("guard.domain_miss"),
+                    (unsigned long long)rs.get("guard.format_miss"));
+        std::printf("  fxch eliminated (hot renaming): %llu, emitted "
+                    "as moves (cold): %llu\n",
+                    (unsigned long long)ts.get("fxch.eliminated"),
+                    (unsigned long long)ts.get("fxch.emitted"));
+    }
+    std::printf("\nThe near-zero guard-failure counts are the paper's\n"
+                "\"speculation success rate was very close to 100%%\".\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * One OS-independent translator, multiple operating systems (paper
+ * section 3): the same BTGeneric engine runs a guest program under the
+ * simulated Linux and Windows personalities, talking to each through
+ * the binary-level BTOS API. Also demonstrates the version handshake
+ * rejecting an incompatible BTLib.
+ */
+
+#include <cstdio>
+
+#include "btlib/abi.hh"
+#include "guest/image.hh"
+#include "harness/exec.hh"
+#include "ia32/assembler.hh"
+
+using namespace el;
+using namespace el::ia32;
+using guest::Layout;
+
+namespace
+{
+
+/** A guest that writes a message and exits 7, per-ABI syscalls. */
+guest::Image
+makeGuest(btlib::OsAbi abi)
+{
+    Assembler as(Layout::code_base);
+    const char msg[] = "hello from IA-32 guest\n";
+    for (unsigned k = 0; k < sizeof(msg) - 1; ++k)
+        as.movMI8(memabs(Layout::data_base + k), msg[k]);
+    if (abi == btlib::OsAbi::Linux) {
+        as.movRI(RegEax, btlib::linux_abi::nr_write);
+        as.movRI(RegEbx, Layout::data_base);
+        as.movRI(RegEcx, sizeof(msg) - 1);
+        as.intN(btlib::linux_abi::int_vector);
+        as.movRI(RegEax, btlib::linux_abi::nr_exit);
+        as.movRI(RegEbx, 7);
+        as.intN(btlib::linux_abi::int_vector);
+    } else {
+        // Windows personality: argument block in memory, INT 0x2e.
+        uint32_t block = Layout::data_base + 0x100;
+        as.movMI(memabs(block), Layout::data_base);
+        as.movMI(memabs(block + 4), sizeof(msg) - 1);
+        as.movRI(RegEax, btlib::windows_abi::nr_write_console);
+        as.movRI(RegEdx, block);
+        as.intN(btlib::windows_abi::int_vector);
+        as.movMI(memabs(block), 7);
+        as.movRI(RegEax, btlib::windows_abi::nr_terminate);
+        as.movRI(RegEdx, block);
+        as.intN(btlib::windows_abi::int_vector);
+    }
+    guest::Image img;
+    img.name = "hello";
+    img.entry = Layout::code_base;
+    img.addCode(Layout::code_base, as.finish());
+    img.addData(Layout::data_base, 0x1000);
+    return img;
+}
+
+} // namespace
+
+int
+main()
+{
+    for (btlib::OsAbi abi :
+         {btlib::OsAbi::Linux, btlib::OsAbi::Windows}) {
+        guest::Image img = makeGuest(abi);
+        harness::TranslatedRun run = harness::runTranslated(img, abi);
+        std::printf("[%s] BTLib personality: %s\n",
+                    abi == btlib::OsAbi::Linux ? "linux" : "windows",
+                    run.os->name());
+        std::printf("  console: %s", run.outcome.console.c_str());
+        std::printf("  exit   : %d\n", run.outcome.exit_code);
+        std::printf("  BTGeneric syscalls routed through BTOS: %llu\n",
+                    (unsigned long long)run.os->stats().syscalls);
+    }
+
+    // The BTOS version handshake: an incompatible BTLib is rejected
+    // before anything runs (section 3's versioning protocol).
+    std::printf("\nversion handshake check:\n");
+    mem::Memory memory;
+    btlib::SimLinux os(memory);
+    btlib::BtOsVtable vt = os.vtable();
+    vt.major = 1; // pretend an old BTLib
+    core::Runtime rt(memory, vt);
+    std::printf("  BTLib v1 vs BTGeneric v%u -> %s\n", btlib::btos_major,
+                rt.initOk() ? "accepted (bug!)"
+                            : rt.initError().c_str());
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Precise exceptions in optimized code (paper section 4): a fault lands
+ * deep inside a hot, reordered, register-renamed trace; the runtime
+ * rebuilds the exact IA-32 state from the commit-point reconstruction
+ * maps and delivers it to the application's handler — which resumes
+ * execution. The same program runs under the reference interpreter to
+ * prove the states match, which is also what a debugger running on top
+ * of the translator would observe.
+ */
+
+#include <cstdio>
+
+#include "btlib/abi.hh"
+#include "guest/image.hh"
+#include "harness/exec.hh"
+#include "ia32/assembler.hh"
+
+using namespace el;
+using namespace el::ia32;
+using guest::Layout;
+
+int
+main()
+{
+    Assembler as(Layout::code_base);
+    Label handler = as.label(), cont = as.label();
+
+    // Register the fault handler (address discovered via call/pop).
+    Label here = as.label();
+    as.call(here);
+    as.bind(here);
+    as.popR(RegEbx);
+    as.aluRI(Op::Add, RegEbx, 96); // handler lives 96 bytes ahead
+    as.movRI(RegEax, btlib::linux_abi::nr_set_handler);
+    as.intN(0x80);
+
+    // A hot loop that walks a buffer and eventually falls off the end
+    // of mapped memory — the faulting iteration is deep inside
+    // optimized code.
+    as.movRI(RegEbx, Layout::data_base);
+    as.movRI(RegEcx, 100000);
+    as.movRI(RegEax, 0);
+    Label top = as.label();
+    as.bind(top);
+    as.aluRR(Op::Add, RegEax, RegEcx);
+    as.movMR(memb(RegEbx, 0), RegEax);
+    as.aluRI(Op::Add, RegEbx, 64);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, top);
+    as.bind(cont);
+    // After the handler resumes here: report how far we got.
+    as.movRR(RegEbx, RegEsi); // esi = faulting EIP captured by handler
+    as.movRI(RegEax, btlib::linux_abi::nr_exit);
+    as.aluRI(Op::And, RegEbx, 0x7f);
+    as.intN(0x80);
+
+    while (as.pc() < Layout::code_base + 5 + 96)
+        as.nop();
+    as.bind(handler);
+    // Handler receives: eax=fault kind, ebx=address, ecx=faulting EIP.
+    as.movRR(RegEsi, RegEcx);
+    as.jmp(cont);
+
+    guest::Image img;
+    img.name = "precise";
+    img.entry = Layout::code_base;
+    img.addCode(Layout::code_base, as.finish());
+    img.addData(Layout::data_base, 0x40000); // deliberately small
+
+    core::Options hot;
+    hot.heat_threshold = 32;
+    hot.hot_batch = 1;
+
+    harness::Outcome ref = harness::runInterpreter(img, btlib::OsAbi::Linux);
+    harness::TranslatedRun tr =
+        harness::runTranslated(img, btlib::OsAbi::Linux, hot);
+
+    std::printf("interpreter : exit=%d (low bits of faulting EIP)\n",
+                ref.exit_code);
+    std::printf("IA-32 EL    : exit=%d\n", tr.outcome.exit_code);
+    std::printf("hot traces built: %llu, commit points: %llu\n",
+                (unsigned long long)
+                    tr.runtime->translator().stats.get("xlate.hot_blocks"),
+                (unsigned long long)
+                    tr.runtime->translator().stats.get(
+                        "hot.commit_points"));
+    std::printf("faults delivered through BTLib: %llu\n",
+                (unsigned long long)
+                    tr.runtime->stats().get("faults.delivered"));
+    std::string why;
+    bool same = ref.final_state.equalsArch(tr.outcome.final_state, &why);
+    std::printf("final state after handler resume: %s%s%s\n",
+                same ? "IDENTICAL to interpreter" : "MISMATCH: ",
+                same ? "" : why.c_str(),
+                same ? " (precise reconstruction worked)" : "");
+    return same ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Quickstart: assemble a small IA-32 program, run it under IA-32 EL on
+ * the simulated Itanium machine, and inspect what the two-phase
+ * translator did.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "btlib/abi.hh"
+#include "guest/image.hh"
+#include "harness/exec.hh"
+#include "ia32/assembler.hh"
+
+using namespace el;
+using namespace el::ia32;
+using guest::Layout;
+
+int
+main()
+{
+    // 1. Build a guest program: compute the 20th Fibonacci number and
+    //    print it through the (simulated) Linux write syscall.
+    Assembler as(Layout::code_base);
+    as.movRI(RegEax, 0);
+    as.movRI(RegEbx, 1);
+    as.movRI(RegEcx, 20);
+    Label top = as.label();
+    as.bind(top);
+    as.movRR(RegEdx, RegEbx);
+    as.aluRR(Op::Add, RegEbx, RegEax);
+    as.movRR(RegEax, RegEdx);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, top);
+    // Decimal-print eax into a buffer (simple division loop).
+    as.movRI(RegEsi, Layout::data_base + 15);
+    as.movMI8(memb(RegEsi, 0), '\n');
+    Label digits = as.label();
+    as.bind(digits);
+    as.movRI(RegEcx, 10);
+    as.movRI(RegEdx, 0);
+    as.divR(RegEcx);
+    as.aluRI8(Op::Add, RegDl, '0');
+    as.decR(RegEsi);
+    as.movMR8(memb(RegEsi, 0), RegDl);
+    as.testRR(RegEax, RegEax);
+    as.jcc(Cond::NE, digits);
+    // write(buf=esi, len=end-esi)
+    as.movRI(RegEax, btlib::linux_abi::nr_write);
+    as.movRR(RegEbx, RegEsi);
+    as.movRI(RegEcx, Layout::data_base + 16);
+    as.aluRR(Op::Sub, RegEcx, RegEsi);
+    as.intN(btlib::linux_abi::int_vector);
+    as.movRI(RegEax, btlib::linux_abi::nr_exit);
+    as.movRI(RegEbx, 0);
+    as.intN(btlib::linux_abi::int_vector);
+
+    guest::Image img;
+    img.name = "fib";
+    img.entry = as.base();
+    img.addCode(as.base(), as.finish());
+    img.addData(Layout::data_base, 0x1000);
+
+    // 2. Run it under IA-32 EL.
+    harness::TranslatedRun run =
+        harness::runTranslated(img, btlib::OsAbi::Linux);
+
+    std::printf("guest output : %s", run.outcome.console.c_str());
+    std::printf("exit code    : %d\n", run.outcome.exit_code);
+    std::printf("IPF cycles   : %.0f\n", run.outcome.cycles);
+
+    // 3. Look inside the translator.
+    StatGroup &ts = run.runtime->translator().stats;
+    std::printf("\ntwo-phase translation summary:\n");
+    std::printf("  cold blocks translated : %llu (%llu IA-32 insns)\n",
+                (unsigned long long)ts.get("xlate.cold_blocks"),
+                (unsigned long long)ts.get("xlate.cold_insns"));
+    std::printf("  hot traces built       : %llu (%llu IA-32 insns)\n",
+                (unsigned long long)ts.get("xlate.hot_blocks"),
+                (unsigned long long)ts.get("xlate.hot_insns"));
+    std::printf("  commit points recorded : %llu\n",
+                (unsigned long long)ts.get("hot.commit_points"));
+    const auto &ms = run.runtime->machine().stats();
+    double tot = run.runtime->machine().totalCycles();
+    std::printf("  cycle split            : hot %.1f%%, cold %.1f%%, "
+                "overhead %.1f%%\n",
+                100 * ms.cycles[0] / tot, 100 * ms.cycles[1] / tot,
+                100 * ms.cycles[2] / tot);
+
+    // 4. Cross-check against the reference interpreter.
+    harness::Outcome ref =
+        harness::runInterpreter(img, btlib::OsAbi::Linux);
+    std::printf("\ninterpreter cross-check: %s\n",
+                ref.console == run.outcome.console &&
+                        ref.exit_code == run.outcome.exit_code
+                    ? "IDENTICAL"
+                    : "MISMATCH (bug!)");
+    return 0;
+}

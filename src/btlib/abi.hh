@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Guest system-call ABIs of the simulated operating systems.
+ *
+ * IA-32 EL ships one OS-independent BTGeneric and a per-OS BTLib
+ * (section 3). The two personalities here differ exactly where real OSes
+ * differ from the translator's point of view: the trap vector, how
+ * arguments are passed, and the service numbering. Workload builders
+ * emit syscall stubs against these descriptions so the same workload
+ * source runs on either personality.
+ */
+
+#ifndef EL_BTLIB_ABI_HH
+#define EL_BTLIB_ABI_HH
+
+#include <cstdint>
+
+namespace el::btlib
+{
+
+/** Which simulated OS a guest binary targets. */
+enum class OsAbi : uint8_t
+{
+    Linux,
+    Windows,
+};
+
+/** Services every personality provides (numbers differ per ABI). */
+enum class Service : uint8_t
+{
+    Exit,       //!< terminate the process; arg0 = exit code
+    Write,      //!< write to console; arg0 = buf, arg1 = len
+    Brk,        //!< grow the heap; arg0 = bytes (0 = query); returns addr
+    Time,       //!< virtual time in microseconds; returns low 32 bits
+    Yield,      //!< give up the CPU (accrues idle time)
+    KernelWork, //!< spend arg0 kilocycles natively in kernel/drivers
+    SetHandler, //!< register an exception handler; arg0 = handler EIP
+    Unknown,
+};
+
+/** Linux personality: INT 0x80; eax = nr, args in ebx/ecx/edx. */
+namespace linux_abi
+{
+constexpr uint8_t int_vector = 0x80;
+constexpr uint32_t nr_exit = 1;
+constexpr uint32_t nr_write = 4;
+constexpr uint32_t nr_brk = 45;
+constexpr uint32_t nr_time = 13;
+constexpr uint32_t nr_yield = 158;
+constexpr uint32_t nr_kernel_work = 240;
+constexpr uint32_t nr_set_handler = 48;
+
+/** Map a Linux syscall number to a Service. */
+Service serviceFor(uint32_t nr);
+} // namespace linux_abi
+
+/** Windows personality: INT 0x2e; eax = service, edx = argument block. */
+namespace windows_abi
+{
+constexpr uint8_t int_vector = 0x2e;
+constexpr uint32_t nr_terminate = 0x01;
+constexpr uint32_t nr_write_console = 0x02;
+constexpr uint32_t nr_allocate_vm = 0x03;
+constexpr uint32_t nr_query_time = 0x04;
+constexpr uint32_t nr_yield = 0x05;
+constexpr uint32_t nr_kernel_work = 0x06;
+constexpr uint32_t nr_set_handler = 0x07;
+
+Service serviceFor(uint32_t nr);
+} // namespace windows_abi
+
+} // namespace el::btlib
+
+#endif // EL_BTLIB_ABI_HH

@@ -1,0 +1,31 @@
+#include "btlib/btos.hh"
+
+#include "support/strfmt.hh"
+
+namespace el::btlib
+{
+
+BtOsClient::BtOsClient(const BtOsVtable &vtable) : vt_(vtable)
+{
+    if (vt_.major != btos_major) {
+        error_ = strfmt("BTOS major version mismatch: BTLib %u.%u vs "
+                        "BTGeneric %u.%u",
+                        vt_.major, vt_.minor, btos_major, btos_minor);
+        return;
+    }
+    if (vt_.minor > btos_minor) {
+        // A newer BTLib may call functions this BTGeneric lacks; the
+        // protocol only guarantees backward compatibility.
+        error_ = strfmt("BTLib minor version %u newer than BTGeneric %u",
+                        vt_.minor, btos_minor);
+        return;
+    }
+    if (!vt_.alloc_pages || !vt_.system_service || !vt_.deliver_exception ||
+        !vt_.charge_cycles || !vt_.os_name) {
+        error_ = "BTOS vtable has null entries";
+        return;
+    }
+    ok_ = true;
+}
+
+} // namespace el::btlib

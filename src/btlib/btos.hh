@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The BTOS API: the binary-level interface between BTGeneric (the
+ * OS-independent translation engine) and BTLib (the thin OS abstraction
+ * layer), as described in section 3 of the paper.
+ *
+ * The interface is a C-style function table with an opaque context
+ * pointer — no C++ types cross it — plus a version handshake that both
+ * sides verify before use ("IA-32 EL uses its proprietary protocol to
+ * ensure that BTLib and BTGeneric versions match each other").
+ */
+
+#ifndef EL_BTLIB_BTOS_HH
+#define EL_BTLIB_BTOS_HH
+
+#include <cstdint>
+
+#include "ia32/fault.hh"
+#include "ia32/state.hh"
+#include "ipf/insn.hh"
+#include "mem/memory.hh"
+
+namespace el::btlib
+{
+
+/** BTOS API version implemented by this BTGeneric build. */
+constexpr uint16_t btos_major = 2;
+constexpr uint16_t btos_minor = 1;
+
+/** Result of executing a guest system service. */
+struct SyscallResult
+{
+    bool exit = false;     //!< Process asked to terminate.
+    int32_t exit_code = 0;
+};
+
+/** What to do after an exception was delivered to the application. */
+enum class ExceptionDisposition : uint8_t
+{
+    Terminate, //!< No handler: kill the process.
+    Resume,    //!< Handler adjusted the state; resume at state.eip.
+};
+
+/**
+ * The function table BTLib hands to BTGeneric at initialization.
+ * All callbacks receive the opaque @p ctx registered alongside.
+ */
+struct BtOsVtable
+{
+    uint16_t major = 0;
+    uint16_t minor = 0;
+    void *ctx = nullptr;
+
+    /** Allocate @p bytes of fresh address space; returns base or 0. */
+    uint64_t (*alloc_pages)(void *ctx, uint64_t bytes) = nullptr;
+
+    /** Execute the guest system service behind interrupt @p vector. */
+    SyscallResult (*system_service)(void *ctx, ia32::State *state,
+                                    uint8_t vector) = nullptr;
+
+    /** Deliver a precise IA-32 exception to the application. */
+    ExceptionDisposition (*deliver_exception)(void *ctx,
+                                              ia32::State *state,
+                                              const ia32::Fault *fault)
+        = nullptr;
+
+    /** Charge cycles spent outside translated code (native/idle). */
+    void (*charge_cycles)(void *ctx, uint8_t bucket, double cycles)
+        = nullptr;
+
+    /** Name of the underlying OS (diagnostics only). */
+    const char *(*os_name)(void *ctx) = nullptr;
+};
+
+/**
+ * BTGeneric's wrapper around the vtable. Performs the version handshake
+ * on construction; `ok()` reports whether the pairing is usable.
+ */
+class BtOsClient
+{
+  public:
+    explicit BtOsClient(const BtOsVtable &vtable);
+
+    /** True when the handshake succeeded and all entries are present. */
+    bool ok() const { return ok_; }
+
+    /** Why the handshake failed (empty when ok). */
+    const std::string &error() const { return error_; }
+
+    uint64_t
+    allocPages(uint64_t bytes) const
+    {
+        return vt_.alloc_pages(vt_.ctx, bytes);
+    }
+
+    SyscallResult
+    systemService(ia32::State &state, uint8_t vector) const
+    {
+        return vt_.system_service(vt_.ctx, &state, vector);
+    }
+
+    ExceptionDisposition
+    deliverException(ia32::State &state, const ia32::Fault &fault) const
+    {
+        return vt_.deliver_exception(vt_.ctx, &state, &fault);
+    }
+
+    void
+    chargeCycles(ipf::Bucket bucket, double cycles) const
+    {
+        vt_.charge_cycles(vt_.ctx, static_cast<uint8_t>(bucket), cycles);
+    }
+
+    const char *osName() const { return vt_.os_name(vt_.ctx); }
+
+  private:
+    BtOsVtable vt_;
+    bool ok_ = false;
+    std::string error_;
+};
+
+} // namespace el::btlib
+
+#endif // EL_BTLIB_BTOS_HH

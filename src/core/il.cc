@@ -1,0 +1,162 @@
+#include "core/il.hh"
+
+namespace el::core
+{
+
+OperandClasses
+operandClasses(ipf::IpfOp op)
+{
+    using ipf::IpfOp;
+    OperandClasses c;
+    auto gr = RegClass::Gr;
+    auto fr = RegClass::Fr;
+    auto pr = RegClass::Pr;
+    auto br = RegClass::Br;
+
+    switch (op) {
+      case IpfOp::Add:
+      case IpfOp::Sub:
+      case IpfOp::And:
+      case IpfOp::Or:
+      case IpfOp::Xor:
+      case IpfOp::Andcm:
+      case IpfOp::Shl:
+      case IpfOp::Shr:
+      case IpfOp::ShrU:
+      case IpfOp::Shladd:
+      case IpfOp::Dep:
+      case IpfOp::Padd:
+      case IpfOp::Psub:
+      case IpfOp::Pmull:
+      case IpfOp::Pcmp:
+      case IpfOp::Xmul:
+      case IpfOp::XDivS:
+      case IpfOp::XDivU:
+      case IpfOp::XRemS:
+      case IpfOp::XRemU:
+        c.dst = gr;
+        c.src[0] = gr;
+        c.src[1] = gr;
+        break;
+      case IpfOp::AddImm:
+      case IpfOp::ShlImm:
+      case IpfOp::ShrImm:
+      case IpfOp::ShrUImm:
+      case IpfOp::Sxt:
+      case IpfOp::Zxt:
+      case IpfOp::Mov:
+      case IpfOp::DepZ:
+      case IpfOp::Extr:
+      case IpfOp::ExtrU:
+      case IpfOp::Popcnt:
+        c.dst = gr;
+        c.src[0] = gr;
+        break;
+      case IpfOp::Movl:
+        c.dst = gr;
+        break;
+      case IpfOp::MovToBr:
+        c.dst = br;
+        c.src[0] = gr;
+        break;
+      case IpfOp::MovFromBr:
+        c.dst = gr;
+        c.src[0] = br;
+        break;
+      case IpfOp::Cmp:
+        c.dst = pr;
+        c.dst2 = pr;
+        c.src[0] = gr;
+        c.src[1] = gr;
+        break;
+      case IpfOp::CmpImm:
+        c.dst = pr;
+        c.dst2 = pr;
+        c.src[1] = gr;
+        break;
+      case IpfOp::Tbit:
+        c.dst = pr;
+        c.dst2 = pr;
+        c.src[0] = gr;
+        break;
+      case IpfOp::Ld:
+        c.dst = gr;
+        c.src[0] = gr;
+        break;
+      case IpfOp::St:
+        c.src[0] = gr;
+        c.src[1] = gr;
+        break;
+      case IpfOp::ChkS:
+        c.src[0] = gr;
+        break;
+      case IpfOp::Ldf:
+        c.dst = fr;
+        c.src[0] = gr;
+        break;
+      case IpfOp::Stf:
+        c.src[0] = gr;
+        c.src[1] = fr;
+        break;
+      case IpfOp::Getf:
+        c.dst = gr;
+        c.src[0] = fr;
+        break;
+      case IpfOp::Setf:
+        c.dst = fr;
+        c.src[0] = gr;
+        break;
+      case IpfOp::Fadd:
+      case IpfOp::Fsub:
+      case IpfOp::Fmpy:
+      case IpfOp::Fdiv:
+      case IpfOp::Fpadd:
+      case IpfOp::Fpsub:
+      case IpfOp::Fpmpy:
+      case IpfOp::Fpdiv:
+        c.dst = fr;
+        c.src[0] = fr;
+        c.src[1] = fr;
+        break;
+      case IpfOp::Fma:
+      case IpfOp::Fms:
+      case IpfOp::Fnma:
+        c.dst = fr;
+        c.src[0] = fr;
+        c.src[1] = fr;
+        c.src[2] = fr;
+        break;
+      case IpfOp::Fsqrt:
+      case IpfOp::Fneg:
+      case IpfOp::Fabs:
+      case IpfOp::FcvtXf:
+      case IpfOp::FcvtFxTrunc:
+      case IpfOp::Fmov:
+      case IpfOp::Fpcvt:
+        c.dst = fr;
+        c.src[0] = fr;
+        break;
+      case IpfOp::Fcmp:
+        c.dst = pr;
+        c.dst2 = pr;
+        c.src[0] = fr;
+        c.src[1] = fr;
+        break;
+      case IpfOp::BrRet:
+      case IpfOp::BrInd:
+        c.src[0] = br;
+        break;
+      case IpfOp::BrCall:
+        c.dst = br;
+        break;
+      case IpfOp::Exit:
+        // IndirectMiss exits carry the target EIP in a GR.
+        c.src[0] = gr;
+        break;
+      default:
+        break;
+    }
+    return c;
+}
+
+} // namespace el::core

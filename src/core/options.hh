@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Translator configuration.
+ *
+ * Every design choice the paper calls out is a switch here so the
+ * ablation benchmarks (bench/ablation_design_choices) can turn each one
+ * off independently: two-phase translation, predication, unrolling,
+ * EFlags elimination, FXCH elimination, the three FP/MMX/SSE speculation
+ * schemes (with the FX!32-style FP-stack-in-memory fallback), load
+ * speculation, block chaining, and misalignment avoidance.
+ */
+
+#ifndef EL_CORE_OPTIONS_HH
+#define EL_CORE_OPTIONS_HH
+
+#include <cstdint>
+
+namespace el::core
+{
+
+/** Tunables and feature toggles of the translator. */
+struct Options
+{
+    // ----- two-phase thresholds ------------------------------------
+    uint32_t heat_threshold = 64;    //!< Block-use count that registers
+                                     //!< the block as hot candidate.
+    uint32_t hot_batch = 4;          //!< Candidates buffered before an
+                                     //!< optimization session starts.
+    uint32_t second_registration = 2;//!< A block registering this many
+                                     //!< times forces a session (tight
+                                     //!< loops don't wait).
+    unsigned analysis_window = 8;    //!< Neighbouring blocks analysed
+                                     //!< during cold translation (1-20).
+    unsigned max_trace_blocks = 8;   //!< Hyper-block size limit.
+    unsigned max_trace_insns = 48;
+    unsigned unroll_factor = 2;      //!< Loop unrolling multiplier.
+    unsigned predication_max_side = 4; //!< Max insns on an if-converted
+                                       //!< side.
+
+    // ----- feature toggles (ablations) ------------------------------
+    bool enable_hot_phase = true;
+    bool enable_predication = true;
+    bool enable_unroll = true;
+    bool enable_eflags_elim = true;
+    bool enable_fxch_elim = true;
+    bool enable_fp_stack_spec = true; //!< false => FP stack in memory
+                                      //!< (the FX!32 alternative).
+    bool enable_mmx_alias_spec = true;
+    bool enable_sse_format_spec = true;
+    bool enable_misalign_avoidance = true;
+    bool enable_load_speculation = true;
+    bool enable_chaining = true;
+    bool enable_addr_cse = true;
+
+    // ----- simulated translator costs (charged to Overhead) --------
+    double cold_xlate_cost_per_insn = 60.0;
+    double hot_xlate_cost_per_insn = 1200.0; //!< ~20x cold (section 2).
+    double runtime_entry_cost = 60.0;        //!< Per exit into BTGeneric.
+    double guard_recovery_cost = 300.0;      //!< FP/SSE guard repair.
+
+    // ----- limits ---------------------------------------------------
+    uint64_t max_run_cycles = 400ULL * 1000 * 1000;
+    uint32_t lookup_entries = 1024;  //!< Indirect-branch table entries.
+};
+
+} // namespace el::core
+
+#endif // EL_CORE_OPTIONS_HH

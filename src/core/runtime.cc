@@ -1,0 +1,677 @@
+#include "core/runtime.hh"
+
+#include <cstring>
+
+#include "ia32/flags.hh"
+#include "ipf/regs.hh"
+#include "support/bitfield.hh"
+#include "support/logging.hh"
+
+namespace el::core
+{
+
+using ia32::FaultKind;
+using ipf::Bucket;
+using ipf::ExitReason;
+using ipf::StopKind;
+
+Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
+                 Options options)
+    : mem_(memory), btos_(vtable), options_(options)
+{
+    if (!btos_.ok()) {
+        el_warn("BTOS handshake failed: %s", btos_.error().c_str());
+        return;
+    }
+    machine_ = std::make_unique<ipf::Machine>(cache_, mem_);
+    rt_base_ = btos_.allocPages(rt::area_size);
+    el_assert(rt_base_ != 0, "BTLib failed to allocate the runtime area");
+    translator_ =
+        std::make_unique<Translator>(options_, mem_, cache_, rt_base_);
+}
+
+SpecContext
+Runtime::currentSpec() const
+{
+    SpecContext spec;
+    uint64_t v = 0;
+    mem_.readPriv(rt_base_ + rt::fp_tos, 1, &v);
+    spec.tos = static_cast<uint8_t>(v);
+    mem_.readPriv(rt_base_ + rt::fp_tag, 1, &v);
+    spec.tag = static_cast<uint8_t>(v);
+    mem_.readPriv(rt_base_ + rt::mmx_domain, 1, &v);
+    spec.mmx_domain = static_cast<uint8_t>(v);
+    mem_.readPriv(rt_base_ + rt::xmm_format, 4, &v);
+    spec.xmm_format = static_cast<uint32_t>(v);
+    return spec;
+}
+
+void
+Runtime::loadContext(const ia32::State &state)
+{
+    ipf::Machine &m = *machine_;
+    for (unsigned r = 0; r < ia32::NumRegs; ++r)
+        m.setGr(ipf::grForGuest(r), state.gpr[r]);
+    m.setGr(ipf::gr_rt_base, rt_base_);
+    m.setGr(ipf::gr_state, state.eip);
+    m.setGr(ipf::gr_flag_cf, state.flag(ia32::FlagCf));
+    m.setGr(ipf::gr_flag_pf, state.flag(ia32::FlagPf));
+    m.setGr(ipf::gr_flag_af, state.flag(ia32::FlagAf));
+    m.setGr(ipf::gr_flag_zf, state.flag(ia32::FlagZf));
+    m.setGr(ipf::gr_flag_sf, state.flag(ia32::FlagSf));
+    m.setGr(ipf::gr_flag_of, state.flag(ia32::FlagOf));
+    m.setGr(ipf::gr_flag_df, state.flag(ia32::FlagDf));
+
+    // x87 stack into the canonical FRs; status bytes into the runtime
+    // area (the FP domain is canonical after a context load).
+    uint8_t tag = 0;
+    for (unsigned k = 0; k < 8; ++k) {
+        m.fr(ipf::frForFpSlot(k)).setVal(state.fpu.st[k]);
+        if (state.fpu.tag[k] == ia32::FpTag::Valid)
+            tag |= 1u << k;
+    }
+    mem_.writePriv(rt_base_ + rt::fp_tos, 1, state.fpu.top);
+    mem_.writePriv(rt_base_ + rt::fp_tag, 1, tag);
+    mem_.writePriv(rt_base_ + rt::mmx_domain, 1, 0);
+
+    // XMM registers in the packed-single (raw-bits) representation.
+    for (unsigned i = 0; i < 8; ++i) {
+        m.fr(ipf::frForXmm(i, 0)).setBits(state.xmm[i].u64(0));
+        m.fr(ipf::frForXmm(i, 1)).setBits(state.xmm[i].u64(1));
+    }
+    mem_.writePriv(rt_base_ + rt::xmm_format, 4,
+                   rt::uniformFormatWord(rt::XmmPs));
+}
+
+void
+Runtime::storeContext(ia32::State *state, uint32_t eip)
+{
+    ipf::Machine &m = *machine_;
+    for (unsigned r = 0; r < ia32::NumRegs; ++r)
+        state->gpr[r] = static_cast<uint32_t>(m.gr(ipf::grForGuest(r)));
+    state->eip = eip;
+    uint32_t fl = ia32::FlagsFixed;
+    if (m.gr(ipf::gr_flag_cf) & 1)
+        fl |= ia32::FlagCf;
+    if (m.gr(ipf::gr_flag_pf) & 1)
+        fl |= ia32::FlagPf;
+    if (m.gr(ipf::gr_flag_af) & 1)
+        fl |= ia32::FlagAf;
+    if (m.gr(ipf::gr_flag_zf) & 1)
+        fl |= ia32::FlagZf;
+    if (m.gr(ipf::gr_flag_sf) & 1)
+        fl |= ia32::FlagSf;
+    if (m.gr(ipf::gr_flag_of) & 1)
+        fl |= ia32::FlagOf;
+    if (m.gr(ipf::gr_flag_df) & 1)
+        fl |= ia32::FlagDf;
+    state->eflags = fl;
+
+    SpecContext spec = currentSpec();
+    state->fpu.top = spec.tos & 7;
+    for (unsigned k = 0; k < 8; ++k) {
+        state->fpu.tag[k] = (spec.tag & (1u << k)) ? ia32::FpTag::Valid
+                                                   : ia32::FpTag::Empty;
+        if (spec.mmx_domain == 1) {
+            // MMX values are current in the GR homes; rebuild the
+            // aliased 80-bit patterns.
+            uint64_t bits = m.gr(ipf::grForMmx(k));
+            uint8_t raw[16] = {};
+            std::memcpy(raw, &bits, 8);
+            raw[8] = 0xff;
+            raw[9] = 0xff;
+            long double v;
+            std::memcpy(&v, raw, 10);
+            state->fpu.st[k] = v;
+        } else {
+            state->fpu.st[k] = m.fr(ipf::frForFpSlot(k)).valView();
+        }
+    }
+
+    for (unsigned i = 0; i < 8; ++i) {
+        rt::XmmRep rep = static_cast<rt::XmmRep>(
+            (spec.xmm_format >> rt::formatShift(i)) & 0xf);
+        uint64_t lo, hi;
+        if (rep == rt::XmmInt) {
+            lo = m.gr(ipf::grForXmm(i, 0));
+            hi = m.gr(ipf::grForXmm(i, 1));
+        } else if (rep == rt::XmmPd) {
+            double d0 = static_cast<double>(
+                m.fr(ipf::frForXmm(i, 0)).valView());
+            double d1 = static_cast<double>(
+                m.fr(ipf::frForXmm(i, 1)).valView());
+            std::memcpy(&lo, &d0, 8);
+            std::memcpy(&hi, &d1, 8);
+        } else {
+            lo = m.fr(ipf::frForXmm(i, 0)).bitsView();
+            hi = m.fr(ipf::frForXmm(i, 1)).bitsView();
+        }
+        state->xmm[i].setU64(0, lo);
+        state->xmm[i].setU64(1, hi);
+    }
+}
+
+int64_t
+Runtime::dispatchEntry(uint32_t eip, bool force_cold, bool fresh_cold)
+{
+    SpecContext spec = currentSpec();
+    BlockInfo *block = force_cold
+        ? translator_->dispatchCold(eip, spec, fresh_cold)
+        : translator_->dispatch(eip, spec);
+    machine_->chargeCycles(Bucket::Overhead,
+                           translator_->takePendingOverheadCycles());
+    if (!block)
+        return -1;
+    return block->cache_entry;
+}
+
+uint64_t
+Runtime::grAt(const Loc &loc, unsigned guest_reg) const
+{
+    if (loc.kind == Loc::Kind::Home)
+        return machine_->gr(ipf::grForGuest(guest_reg));
+    return machine_->gr(static_cast<unsigned>(loc.reg));
+}
+
+uint32_t
+Runtime::evalFlagRecipe(const FlagRecipe &recipe) const
+{
+    // Reconstruct the flags this recipe covers from live register
+    // values; the caller merges with home-resident flags.
+    auto val = [&](const Loc &l) {
+        return machine_->gr(static_cast<unsigned>(l.reg));
+    };
+    uint64_t wide = val(recipe.wide);
+    uint32_t a = static_cast<uint32_t>(val(recipe.a));
+    uint32_t b = static_cast<uint32_t>(val(recipe.b));
+    uint32_t res = static_cast<uint32_t>(val(recipe.res));
+    unsigned size = recipe.size;
+    uint32_t fl = ia32::flagsZSP(res, size);
+    switch (recipe.op) {
+      case FlagRecipe::LazyOp::Add:
+        if (bit(wide, size * 8))
+            fl |= ia32::FlagCf;
+        if (((a ^ res) & (b ^ res)) & ia32::signBit(size))
+            fl |= ia32::FlagOf;
+        if ((a ^ b ^ res) & 0x10)
+            fl |= ia32::FlagAf;
+        break;
+      case FlagRecipe::LazyOp::Sub:
+        if (bit(wide, 63))
+            fl |= ia32::FlagCf;
+        if (((a ^ b) & (a ^ res)) & ia32::signBit(size))
+            fl |= ia32::FlagOf;
+        if ((a ^ b ^ res) & 0x10)
+            fl |= ia32::FlagAf;
+        break;
+      case FlagRecipe::LazyOp::Logic:
+      default:
+        break;
+    }
+    return fl;
+}
+
+void
+Runtime::reconstructHot(const BlockInfo &block, const ipf::Instr &instr,
+                        ia32::State *state)
+{
+    int32_t cid = instr.meta.commit_id;
+    el_assert(cid >= 0 &&
+                  cid < static_cast<int32_t>(block.recovery.size()),
+              "hot fault without a recovery map (block %d)", block.id);
+    const RecoveryMap &map = block.recovery[cid];
+
+    storeContext(state, map.guest_ip);
+    for (unsigned r = 0; r < ia32::NumRegs; ++r)
+        state->gpr[r] = static_cast<uint32_t>(grAt(map.gpr[r], r));
+
+    if (map.flags.op != FlagRecipe::LazyOp::Homes &&
+        map.flags.dirty_mask) {
+        uint32_t lazy = evalFlagRecipe(map.flags);
+        state->eflags = (state->eflags & ~map.flags.dirty_mask) |
+                        (lazy & map.flags.dirty_mask) | ia32::FlagsFixed;
+    }
+
+    // FP stack adjustments relative to block entry.
+    SpecContext spec = currentSpec(); // entry values (tail not run)
+    state->fpu.top = (spec.tos + map.tos_delta) & 7;
+    uint8_t tag = static_cast<uint8_t>(
+        (spec.tag & ~map.tag_clear) | map.tag_set);
+    for (unsigned k = 0; k < 8; ++k) {
+        state->fpu.tag[k] = (tag & (1u << k)) ? ia32::FpTag::Valid
+                                              : ia32::FpTag::Empty;
+    }
+    // XMM representations at the fault point.
+    for (unsigned i = 0; i < 8; ++i) {
+        rt::XmmRep rep = static_cast<rt::XmmRep>(
+            (map.xmm_formats >> rt::formatShift(i)) & 0xf);
+        uint64_t lo, hi;
+        if (rep == rt::XmmInt) {
+            lo = machine_->gr(ipf::grForXmm(i, 0));
+            hi = machine_->gr(ipf::grForXmm(i, 1));
+        } else if (rep == rt::XmmPd) {
+            double d0 = static_cast<double>(
+                machine_->fr(ipf::frForXmm(i, 0)).valView());
+            double d1 = static_cast<double>(
+                machine_->fr(ipf::frForXmm(i, 1)).valView());
+            std::memcpy(&lo, &d0, 8);
+            std::memcpy(&hi, &d1, 8);
+        } else {
+            lo = machine_->fr(ipf::frForXmm(i, 0)).bitsView();
+            hi = machine_->fr(ipf::frForXmm(i, 1)).bitsView();
+        }
+        state->xmm[i].setU64(0, lo);
+        state->xmm[i].setU64(1, hi);
+    }
+}
+
+void
+Runtime::recoverGuard(BlockInfo *block, int64_t payload_kind)
+{
+    machine_->chargeCycles(Bucket::Overhead,
+                           options_.guard_recovery_cost);
+    ipf::Machine &m = *machine_;
+    switch (payload_kind) {
+      case 0: // TOS mismatch: resolved by block-variant dispatch.
+        stats_.add("guard.tos_miss");
+        break;
+      case 1: // TAG mismatch: variant dispatch rebuilds a block that
+              // raises the right stack fault statically.
+        stats_.add("guard.tag_miss");
+        break;
+      case 2: { // MMX/FP domain flip.
+        stats_.add("guard.domain_miss");
+        uint64_t cur = 0;
+        mem_.readPriv(rt_base_ + rt::mmx_domain, 1, &cur);
+        if (block->guard.expect_domain == 1 && cur == 0) {
+            for (unsigned k = 0; k < 8; ++k)
+                m.setGr(ipf::grForMmx(k),
+                        m.fr(ipf::frForFpSlot(k)).bitsView());
+        } else if (block->guard.expect_domain == 0 && cur == 1) {
+            for (unsigned k = 0; k < 8; ++k)
+                m.fr(ipf::frForFpSlot(k)).setBits(
+                    m.gr(ipf::grForMmx(k)));
+        }
+        mem_.writePriv(rt_base_ + rt::mmx_domain, 1,
+                       block->guard.expect_domain);
+        break;
+      }
+      case 3: { // XMM format conversion.
+        stats_.add("guard.format_miss");
+        uint64_t wv = 0;
+        mem_.readPriv(rt_base_ + rt::xmm_format, 4, &wv);
+        uint32_t word = static_cast<uint32_t>(wv);
+        for (unsigned i = 0; i < 8; ++i) {
+            uint32_t mask = 0xfu << rt::formatShift(i);
+            if (!(block->guard.xmm_mask & mask))
+                continue;
+            rt::XmmRep cur = static_cast<rt::XmmRep>(
+                (word >> rt::formatShift(i)) & 0xf);
+            rt::XmmRep want = static_cast<rt::XmmRep>(
+                (block->guard.xmm_expect >> rt::formatShift(i)) & 0xf);
+            if (cur == want)
+                continue;
+            // Extract raw bytes in the current representation...
+            uint64_t lo, hi;
+            if (cur == rt::XmmInt) {
+                lo = m.gr(ipf::grForXmm(i, 0));
+                hi = m.gr(ipf::grForXmm(i, 1));
+            } else if (cur == rt::XmmPd) {
+                double d0 = static_cast<double>(
+                    m.fr(ipf::frForXmm(i, 0)).valView());
+                double d1 = static_cast<double>(
+                    m.fr(ipf::frForXmm(i, 1)).valView());
+                std::memcpy(&lo, &d0, 8);
+                std::memcpy(&hi, &d1, 8);
+            } else {
+                lo = m.fr(ipf::frForXmm(i, 0)).bitsView();
+                hi = m.fr(ipf::frForXmm(i, 1)).bitsView();
+            }
+            // ...and install them in the wanted representation.
+            if (want == rt::XmmInt) {
+                m.setGr(ipf::grForXmm(i, 0), lo);
+                m.setGr(ipf::grForXmm(i, 1), hi);
+            } else if (want == rt::XmmPd) {
+                double d0, d1;
+                std::memcpy(&d0, &lo, 8);
+                std::memcpy(&d1, &hi, 8);
+                m.fr(ipf::frForXmm(i, 0)).setVal(d0);
+                m.fr(ipf::frForXmm(i, 1)).setVal(d1);
+            } else {
+                m.fr(ipf::frForXmm(i, 0)).setBits(lo);
+                m.fr(ipf::frForXmm(i, 1)).setBits(hi);
+            }
+            word = (word & ~mask) |
+                   (static_cast<uint32_t>(want) << rt::formatShift(i));
+        }
+        mem_.writePriv(rt_base_ + rt::xmm_format, 4, word);
+        break;
+      }
+      default:
+        el_panic("bad guard payload %lld",
+                 static_cast<long long>(payload_kind));
+    }
+}
+
+void
+Runtime::registerHot(int32_t block_id)
+{
+    BlockInfo *block = translator_->blockById(block_id);
+    if (!block || block->kind != BlockKind::Cold || block->invalidated)
+        return;
+    if (block->hot_version != -1) {
+        // Already covered (or permanently failed): silence the counter.
+        translator_->disableHeat(block);
+        return;
+    }
+    block->heat_registrations++;
+    stats_.add("hot.registrations");
+    bool queued = false;
+    for (int32_t id : hot_queue_)
+        queued = queued || id == block_id;
+    if (!queued)
+        hot_queue_.push_back(block_id);
+
+    bool session =
+        hot_queue_.size() >= options_.hot_batch ||
+        block->heat_registrations >= options_.second_registration;
+    if (!session)
+        return;
+
+    stats_.add("hot.sessions");
+    // Evaluate all candidates at once (section 2's batching).
+    std::deque<int32_t> batch;
+    batch.swap(hot_queue_);
+    for (int32_t id : batch) {
+        BlockInfo *cand = translator_->blockById(id);
+        if (!cand || cand->invalidated || cand->hot_version >= 0)
+            continue;
+        SpecContext spec = currentSpec();
+        if (!translator_->translateHot(cand->entry_eip, spec)) {
+            // Remember the failure so this block is not re-queued on
+            // every subsequent threshold hit.
+            cand->hot_version = -2;
+            translator_->disableHeat(cand);
+        }
+    }
+    machine_->chargeCycles(Bucket::Overhead,
+                           translator_->takePendingOverheadCycles());
+}
+
+bool
+Runtime::deliverFault(ia32::State *state, const ia32::Fault &fault,
+                      RunResult *result)
+{
+    stats_.add("faults.delivered");
+    btlib::ExceptionDisposition disp =
+        btos_.deliverException(*state, fault);
+    if (disp == btlib::ExceptionDisposition::Terminate) {
+        result->kind = RunResult::Kind::Fault;
+        result->fault = fault;
+        return false;
+    }
+    loadContext(*state);
+    return true;
+}
+
+RunResult
+Runtime::run(ia32::State &state)
+{
+    RunResult result;
+    if (!btos_.ok()) {
+        result.kind = RunResult::Kind::InitError;
+        return result;
+    }
+
+    loadContext(state);
+    uint32_t next_eip = state.eip;
+    bool force_cold_once = false;
+    bool fresh_cold_once = false;
+
+    for (;;) {
+        if (machine_->totalCycles() >=
+            static_cast<double>(options_.max_run_cycles)) {
+            result.kind = RunResult::Kind::CycleLimit;
+            storeContext(&state, next_eip);
+            return result;
+        }
+
+        int64_t entry = dispatchEntry(next_eip, force_cold_once,
+                                      fresh_cold_once);
+        force_cold_once = false;
+        fresh_cold_once = false;
+        if (entry < 0) {
+            // Undecodable code at next_eip.
+            ia32::Fault fault;
+            fault.kind = FaultKind::InvalidOpcode;
+            fault.eip = next_eip;
+            storeContext(&state, next_eip);
+            if (!deliverFault(&state, fault, &result))
+                return result;
+            next_eip = state.eip;
+            continue;
+        }
+
+        double remaining = static_cast<double>(options_.max_run_cycles) -
+                           machine_->totalCycles();
+        ipf::StopInfo stop = machine_->run(
+            entry, remaining < 1 ? 1
+                                 : static_cast<uint64_t>(remaining));
+        machine_->chargeCycles(Bucket::Overhead,
+                               options_.runtime_entry_cost);
+
+        if (stop.kind == StopKind::CycleLimit) {
+            result.kind = RunResult::Kind::CycleLimit;
+            storeContext(&state, next_eip);
+            return result;
+        }
+        el_assert(stop.kind != StopKind::BadIp, "machine left the cache");
+
+        const ipf::Instr &instr = cache_.at(stop.instr_index);
+        BlockInfo *block = translator_->blockById(instr.meta.block_id);
+
+        if (stop.kind == StopKind::MemFault) {
+            ia32::Fault fault;
+            fault.kind = FaultKind::PageFault;
+            fault.addr = static_cast<uint32_t>(stop.fault_addr);
+            fault.is_write = stop.fault_is_write;
+            if (block && instr.meta.commit_id >= 0 &&
+                instr.meta.commit_id <
+                    static_cast<int32_t>(block->recovery.size())) {
+                reconstructHot(*block, instr, &state);
+                fault.eip = state.eip;
+            } else {
+                uint32_t eip =
+                    static_cast<uint32_t>(machine_->gr(ipf::gr_state));
+                storeContext(&state, eip);
+                fault.eip = eip;
+            }
+            stats_.add("faults.memory");
+            if (!deliverFault(&state, fault, &result))
+                return result;
+            next_eip = state.eip;
+            continue;
+        }
+
+        switch (stop.reason) {
+          case ExitReason::LinkMiss: {
+            uint32_t target = static_cast<uint32_t>(stop.payload);
+            stats_.add("exits.link_miss");
+            // Hot-to-hot chaining: when hot code falls off its trace
+            // tail, extend the hot tiling at the target immediately
+            // instead of decaying into cold execution.
+            if (block && block->kind == BlockKind::Hot &&
+                options_.enable_hot_phase) {
+                BlockInfo *tblock =
+                    translator_->blockById(-1); // placeholder
+                (void)tblock;
+                SpecContext spec = currentSpec();
+                BlockInfo *cold =
+                    translator_->dispatchCold(target, spec, false);
+                if (cold && cold->kind == BlockKind::Cold &&
+                    cold->hot_version == -1) {
+                    if (translator_->translateHot(target, spec)) {
+                        stats_.add("hot.chained");
+                    } else {
+                        cold->hot_version = -2;
+                        translator_->disableHeat(cold);
+                    }
+                    machine_->chargeCycles(
+                        Bucket::Overhead,
+                        translator_->takePendingOverheadCycles());
+                }
+            }
+            int64_t tentry = dispatchEntry(target, false);
+            if (tentry >= 0 && options_.enable_chaining) {
+                cache_.patchToBranch(stop.instr_index, tentry);
+                stats_.add("links.patched");
+            }
+            next_eip = target;
+            break;
+          }
+
+          case ExitReason::IndirectMiss: {
+            uint32_t target = static_cast<uint32_t>(stop.payload);
+            stats_.add("exits.indirect_miss");
+            int64_t tentry = dispatchEntry(target, false);
+            if (tentry >= 0) {
+                // Install the fast-lookup entry.
+                uint64_t h = bits(target, 2, 10);
+                uint64_t eaddr =
+                    rt_base_ + rt::lookup_table + h * 16;
+                mem_.writePriv(eaddr, 8, target);
+                mem_.writePriv(eaddr + 8, 8,
+                               static_cast<uint64_t>(tentry));
+            }
+            next_eip = target;
+            break;
+          }
+
+          case ExitReason::RegisterHot: {
+            stats_.add("exits.register_hot");
+            registerHot(static_cast<int32_t>(stop.payload));
+            // Resume the block that registered (possibly now hot).
+            next_eip = block ? block->entry_eip : next_eip;
+            break;
+          }
+
+          case ExitReason::SyscallGate: {
+            stats_.add("exits.syscall");
+            uint8_t vector =
+                static_cast<uint8_t>(stop.payload >> 32);
+            uint32_t ret_eip =
+                static_cast<uint32_t>(stop.payload & 0xffffffff);
+            storeContext(&state, ret_eip);
+            btlib::SyscallResult res =
+                btos_.systemService(state, vector);
+            if (res.exit) {
+                result.kind = RunResult::Kind::Exit;
+                result.exit_code = res.exit_code;
+                return result;
+            }
+            loadContext(state);
+            next_eip = state.eip;
+            break;
+          }
+
+          case ExitReason::Misaligned: {
+            stats_.add("exits.misaligned");
+            el_assert(block, "misalignment exit without a block");
+            if (block->kind == BlockKind::Cold) {
+                uint32_t resume = instr.meta.ia32_ip;
+                translator_->recordMisalignment(block->entry_eip);
+                if (block->misalign_stage == MisalignStage::Light) {
+                    // Stage 1 -> 2: regenerate with detection+avoidance.
+                    translator_->regenerateForMisalignment(
+                        block->entry_eip, currentSpec());
+                }
+                next_eip = resume;
+            } else {
+                // Stage 3: discard the hot block, remember to avoid.
+                translator_->recordMisalignment(instr.meta.ia32_ip);
+                translator_->discardHotBlock(block);
+                next_eip = static_cast<uint32_t>(stop.payload);
+            }
+            machine_->chargeCycles(
+                Bucket::Overhead,
+                translator_->takePendingOverheadCycles());
+            break;
+          }
+
+          case ExitReason::GuardFail: {
+            stats_.add("exits.guard_fail");
+            el_assert(block, "guard exit without a block");
+            recoverGuard(block, stop.payload);
+            next_eip = block->entry_eip;
+            break;
+          }
+
+          case ExitReason::SmcDetected: {
+            stats_.add("exits.smc");
+            uint32_t addr = static_cast<uint32_t>(stop.payload);
+            translator_->invalidateRange(addr, 4096);
+            next_eip = block ? block->entry_eip : addr;
+            break;
+          }
+
+          case ExitReason::Resync: {
+            stats_.add("exits.resync");
+            // Speculation failed or a block was invalidated: re-execute
+            // the region cold, precisely.
+            next_eip = static_cast<uint32_t>(stop.payload);
+            force_cold_once = true;
+            fresh_cold_once = true;
+            break;
+          }
+
+          case ExitReason::GuestFault: {
+            stats_.add("exits.guest_fault");
+            ia32::Fault fault;
+            fault.kind =
+                static_cast<FaultKind>(stop.payload & 0xff);
+            fault.eip = static_cast<uint32_t>(stop.payload >> 8);
+            if (fault.kind == FaultKind::PageFault)
+                fault.addr = fault.eip; // instruction-fetch fault
+            if (block && instr.meta.commit_id >= 0 &&
+                instr.meta.commit_id <
+                    static_cast<int32_t>(block->recovery.size())) {
+                reconstructHot(*block, instr, &state);
+                state.eip = fault.eip;
+            } else {
+                storeContext(&state, fault.eip);
+            }
+            if (!deliverFault(&state, fault, &result))
+                return result;
+            next_eip = state.eip;
+            break;
+          }
+
+          case ExitReason::Breakpoint: {
+            stats_.add("exits.breakpoint");
+            ia32::Fault fault;
+            fault.kind = FaultKind::Breakpoint;
+            fault.eip = static_cast<uint32_t>(stop.payload);
+            storeContext(&state, fault.eip);
+            if (!deliverFault(&state, fault, &result))
+                return result;
+            next_eip = state.eip;
+            break;
+          }
+
+          case ExitReason::Halt: {
+            stats_.add("exits.halt");
+            storeContext(&state,
+                         static_cast<uint32_t>(stop.payload));
+            result.kind = RunResult::Kind::Exit;
+            result.exit_code = 0;
+            return result;
+          }
+
+          default:
+            el_panic("unhandled exit reason %u",
+                     static_cast<unsigned>(stop.reason));
+        }
+    }
+}
+
+} // namespace el::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * BTGeneric's runtime: the dispatch loop of Figure 2/3.
+ *
+ * Owns the IPF machine, the code cache and the translator; converses
+ * with the OS exclusively through the BTOS API (btlib::BtOsClient). It
+ * services every translated-code exit: linking, indirect lookups, hot
+ * registration and optimization sessions, system calls, speculation
+ * guard recovery, misalignment stage transitions, SMC invalidation, and
+ * precise exception reconstruction (section 4).
+ */
+
+#ifndef EL_CORE_RUNTIME_HH
+#define EL_CORE_RUNTIME_HH
+
+#include <deque>
+#include <memory>
+
+#include "btlib/btos.hh"
+#include "core/options.hh"
+#include "core/translator.hh"
+#include "ia32/state.hh"
+#include "ipf/machine.hh"
+#include "mem/memory.hh"
+#include "support/stats.hh"
+
+namespace el::core
+{
+
+/** How a runtime run() finished. */
+struct RunResult
+{
+    enum class Kind
+    {
+        Exit,       //!< Guest exited (code in exit_code).
+        Fault,      //!< Unhandled guest fault (terminated).
+        CycleLimit, //!< Simulation budget exhausted.
+        InitError,  //!< BTOS handshake failed.
+    };
+
+    Kind kind = Kind::Exit;
+    int32_t exit_code = 0;
+    ia32::Fault fault{};
+};
+
+/** The IA-32 EL runtime (BTGeneric). */
+class Runtime
+{
+  public:
+    Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
+            Options options = {});
+
+    /** False if the BTOS version handshake failed. */
+    bool initOk() const { return btos_.ok(); }
+    const std::string &initError() const { return btos_.error(); }
+
+    /** Run the guest from state.eip until exit/fault/limit. */
+    RunResult run(ia32::State &state);
+
+    ipf::Machine &machine() { return *machine_; }
+    Translator &translator() { return *translator_; }
+    ipf::CodeCache &codeCache() { return cache_; }
+    StatGroup &stats() { return stats_; }
+    const Options &options() const { return options_; }
+    uint64_t rtBase() const { return rt_base_; }
+
+    /** Copy guest architectural state into the machine + runtime area. */
+    void loadContext(const ia32::State &state);
+
+    /** Rebuild the guest architectural state from the machine. */
+    void storeContext(ia32::State *state, uint32_t eip);
+
+  private:
+    /** Entry-condition snapshot from the runtime status bytes. */
+    SpecContext currentSpec() const;
+
+    /** Find/translate the block for @p eip; returns its cache entry. */
+    int64_t dispatchEntry(uint32_t eip, bool force_cold,
+                          bool fresh_cold = false);
+
+    /** Recover from a speculation guard failure. */
+    void recoverGuard(BlockInfo *block, int64_t payload_kind);
+
+    /** Build precise state at a hot-code fault via the recovery map. */
+    void reconstructHot(const BlockInfo &block, const ipf::Instr &instr,
+                        ia32::State *state);
+
+    /** Evaluate a lazy flag recipe against machine registers. */
+    uint32_t evalFlagRecipe(const FlagRecipe &recipe) const;
+
+    uint64_t grAt(const Loc &loc, unsigned guest_reg) const;
+
+    /** Handle the RegisterHot protocol; may run a hot session. */
+    void registerHot(int32_t block_id);
+
+    /** Deliver a guest fault; returns true to continue running. */
+    bool deliverFault(ia32::State *state, const ia32::Fault &fault,
+                      RunResult *result);
+
+    mem::Memory &mem_;
+    btlib::BtOsClient btos_;
+    Options options_;
+    ipf::CodeCache cache_;
+    std::unique_ptr<ipf::Machine> machine_;
+    std::unique_ptr<Translator> translator_;
+    uint64_t rt_base_ = 0;
+    StatGroup stats_;
+    std::deque<int32_t> hot_queue_;
+};
+
+} // namespace el::core
+
+#endif // EL_CORE_RUNTIME_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The back end of translation: dead-IL elimination, load speculation,
+ * dependency-graph list scheduling into explicit issue groups, register
+ * renaming, and emission into the code cache (section 2's "build
+ * dependencies graph / remove dead code / rename registers / reorder and
+ * bundle" pipeline).
+ *
+ * Cold blocks run the same pipeline with reordering disabled: ILs stay
+ * in template order and are only packed greedily into legal issue
+ * groups, which is what "hand-optimized binary templates" amount to.
+ */
+
+#ifndef EL_CORE_SCHED_HH
+#define EL_CORE_SCHED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/blockinfo.hh"
+#include "core/il.hh"
+#include "core/options.hh"
+#include "ipf/code_cache.hh"
+
+namespace el::core
+{
+
+/** Result of scheduling one block into the code cache. */
+struct ScheduleResult
+{
+    bool ok = false;
+    int64_t entry = -1;  //!< First emitted cache index.
+    int64_t end = -1;    //!< One past the last emitted index.
+    /** Final cache index of each input IL (-1 if eliminated). */
+    std::vector<int64_t> il_to_cache;
+    // Statistics.
+    uint32_t dead_removed = 0;
+    uint32_t loads_speculated = 0;
+    uint32_t groups = 0;
+};
+
+/**
+ * Schedule @p ils into @p cache.
+ *
+ * @param reorder Enable list scheduling (hot); false keeps program
+ *                order (cold).
+ * @param speculate_loads Convert reorderable guest loads to ld.s+chk.s.
+ * @param recovery Reconstruction maps whose register references are
+ *                 rewritten from virtual to physical ids (may be null).
+ */
+ScheduleResult schedule(std::vector<Il> ils, ipf::CodeCache &cache,
+                        const Options &options, bool reorder,
+                        bool speculate_loads,
+                        std::vector<RecoveryMap> *recovery);
+
+} // namespace el::core
+
+#endif // EL_CORE_SCHED_HH

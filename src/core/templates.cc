@@ -1,0 +1,846 @@
+/**
+ * @file
+ * Per-IA-32-instruction translation templates.
+ *
+ * One template per opcode family, written against EmitEnv so the same
+ * source serves cold binary generation and hot IL generation (section 2:
+ * "the precompiled binary templates and the IL-generation are derived
+ * from the same template source code"). Control-transfer instructions
+ * (Jcc/Jmp/Call/Ret/Int/...) are handled by the codegen drivers, which
+ * own edge profiling and trace shaping; translateInsn() returns false
+ * for them.
+ */
+
+#include "core/emit_env.hh"
+
+#include "ipf/regs.hh"
+#include "ia32/flags.hh"
+#include "support/bitfield.hh"
+#include "support/logging.hh"
+
+namespace el::core
+{
+
+using ia32::Cond;
+using ia32::FaultKind;
+using ia32::Flag;
+using ia32::Insn;
+using ia32::Op;
+using ia32::Operand;
+using ia32::OperandKind;
+using ia32::Reg;
+using ipf::CmpRel;
+using ipf::FpPrec;
+using ipf::IpfOp;
+
+namespace
+{
+
+/** Convert a predicate to a 0/1 general value. */
+int16_t
+predToGr(EmitEnv &env, int16_t pred)
+{
+    int16_t v = env.newGr();
+    env.emitOp(IpfOp::Mov, v, ipf::gr_zero);
+    Il set = env.mk(IpfOp::AddImm);
+    set.qp = pred;
+    set.dst = v;
+    set.src1 = ipf::gr_zero;
+    set.ins.imm = 1;
+    env.emit(set);
+    return v;
+}
+
+/** dst = src zero-extended to `size` bytes. */
+int16_t
+zxt(EmitEnv &env, int16_t src, unsigned size)
+{
+    if (size >= 8)
+        return src;
+    int16_t v = env.newGr();
+    Il il = env.mk(IpfOp::Zxt);
+    il.dst = v;
+    il.src1 = src;
+    il.ins.size = static_cast<uint8_t>(size);
+    env.emit(il);
+    return v;
+}
+
+/** dst = src sign-extended from `size` bytes. */
+int16_t
+sxt(EmitEnv &env, int16_t src, unsigned size)
+{
+    int16_t v = env.newGr();
+    Il il = env.mk(IpfOp::Sxt);
+    il.dst = v;
+    il.src1 = src;
+    il.ins.size = static_cast<uint8_t>(size);
+    env.emit(il);
+    return v;
+}
+
+int16_t
+extrU(EmitEnv &env, int16_t src, unsigned pos, unsigned len)
+{
+    int16_t v = env.newGr();
+    Il il = env.mk(IpfOp::ExtrU);
+    il.dst = v;
+    il.src1 = src;
+    il.ins.pos = static_cast<uint8_t>(pos);
+    il.ins.len = static_cast<uint8_t>(len);
+    env.emit(il);
+    return v;
+}
+
+int16_t
+dep(EmitEnv &env, int16_t val, int16_t into, unsigned pos, unsigned len)
+{
+    int16_t v = env.newGr();
+    Il il = env.mk(IpfOp::Dep);
+    il.dst = v;
+    il.src1 = val;
+    il.src2 = into;
+    il.ins.pos = static_cast<uint8_t>(pos);
+    il.ins.len = static_cast<uint8_t>(len);
+    env.emit(il);
+    return v;
+}
+
+/** (p, p2) = a rel b. */
+std::pair<int16_t, int16_t>
+cmp(EmitEnv &env, CmpRel rel, int16_t a, int16_t b)
+{
+    int16_t p = env.newPr(), p2 = env.newPr();
+    Il il = env.mk(IpfOp::Cmp);
+    il.dst = p;
+    il.dst2 = p2;
+    il.src1 = a;
+    il.src2 = b;
+    il.ins.crel = rel;
+    env.emit(il);
+    return {p, p2};
+}
+
+std::pair<int16_t, int16_t>
+cmpImm(EmitEnv &env, CmpRel rel, int64_t imm, int16_t b)
+{
+    int16_t p = env.newPr(), p2 = env.newPr();
+    Il il = env.mk(IpfOp::CmpImm);
+    il.dst = p;
+    il.dst2 = p2;
+    il.ins.imm = imm;
+    il.src2 = b;
+    il.ins.crel = rel;
+    env.emit(il);
+    return {p, p2};
+}
+
+/** Predicated move v (existing id) <- src. */
+void
+movIf(EmitEnv &env, int16_t pred, int16_t dst, int16_t src)
+{
+    Il il = env.mk(IpfOp::Mov);
+    il.qp = pred;
+    il.dst = dst;
+    il.src1 = src;
+    env.emit(il);
+}
+
+unsigned
+opndSize(const Insn &insn)
+{
+    return insn.op_size;
+}
+
+// ----- integer templates --------------------------------------------------
+
+bool
+tplMovFamily(EmitEnv &env, const Insn &insn)
+{
+    unsigned size = opndSize(insn);
+    switch (insn.op) {
+      case Op::Mov: {
+        int16_t v = env.readOperand(insn.src, size);
+        env.writeOperand(insn.dst, v, size);
+        return true;
+      }
+      case Op::Movzx: {
+        int16_t v = env.readOperand(insn.src, size);
+        env.writeGuest(static_cast<Reg>(insn.dst.reg), v, 4);
+        return true;
+      }
+      case Op::Movsx: {
+        int16_t v = env.readOperand(insn.src, size);
+        env.writeGuest(static_cast<Reg>(insn.dst.reg),
+                       sxt(env, v, size), 4, /*clean=*/false);
+        return true;
+      }
+      case Op::Lea: {
+        int16_t a = env.effAddr(insn.src.mem);
+        env.writeGuest(static_cast<Reg>(insn.dst.reg), a, size);
+        return true;
+      }
+      case Op::Xchg: {
+        int16_t a = env.readOperand(insn.dst, size);
+        int16_t b = env.readOperand(insn.src, size);
+        env.writeOperand(insn.dst, b, size);
+        env.writeOperand(insn.src, a, size);
+        return true;
+      }
+      case Op::Push: {
+        int16_t v = env.readOperand(insn.dst, 4);
+        int16_t esp = env.readGuest(ia32::RegEsp);
+        int16_t na = env.newGr();
+        env.emitOp(IpfOp::AddImm, na, esp, -1, -4);
+        int16_t addr = zxt(env, na, 4);
+        env.emitStore(addr, v, 4);
+        env.writeGuest(ia32::RegEsp, addr, 4);
+        return true;
+      }
+      case Op::Pop: {
+        int16_t esp = env.readGuest(ia32::RegEsp);
+        int16_t v = env.emitLoad(esp, 4);
+        env.writeOperand(insn.dst, v, 4);
+        int16_t na = env.newGr();
+        env.emitOp(IpfOp::AddImm, na, esp, -1, 4);
+        env.writeGuest(ia32::RegEsp, na, 4, /*clean=*/false);
+        return true;
+      }
+      case Op::Leave: {
+        int16_t ebp = env.readGuest(ia32::RegEbp);
+        int16_t v = env.emitLoad(ebp, 4);
+        int16_t na = env.newGr();
+        env.emitOp(IpfOp::AddImm, na, ebp, -1, 4);
+        env.writeGuest(ia32::RegEsp, na, 4, /*clean=*/false);
+        env.writeGuest(ia32::RegEbp, v, 4);
+        return true;
+      }
+      case Op::Cdq: {
+        int16_t eax = env.readGuest(ia32::RegEax);
+        int16_t s = sxt(env, eax, 4);
+        int16_t hi = env.newGr();
+        Il sh = env.mk(IpfOp::ShrUImm);
+        sh.dst = hi;
+        sh.src1 = s;
+        sh.ins.imm = 32;
+        env.emit(sh);
+        env.writeGuest(ia32::RegEdx, hi, 4);
+        return true;
+      }
+      case Op::Sahf: {
+        int16_t ah = env.readGuest8(ia32::RegAh);
+        env.setFlagHome(ia32::FlagCf, extrU(env, ah, 0, 1));
+        env.setFlagHome(ia32::FlagPf, extrU(env, ah, 2, 1));
+        env.setFlagHome(ia32::FlagAf, extrU(env, ah, 4, 1));
+        env.setFlagHome(ia32::FlagZf, extrU(env, ah, 6, 1));
+        env.setFlagHome(ia32::FlagSf, extrU(env, ah, 7, 1));
+        return true;
+      }
+      case Op::Lahf: {
+        env.materializeFlags(ia32::FlagCf | ia32::FlagPf | ia32::FlagAf |
+                             ia32::FlagZf | ia32::FlagSf);
+        int16_t v = env.immGr(2); // the fixed bit
+        v = dep(env, env.readFlagValue(ia32::FlagCf), v, 0, 1);
+        v = dep(env, env.readFlagValue(ia32::FlagPf), v, 2, 1);
+        v = dep(env, env.readFlagValue(ia32::FlagAf), v, 4, 1);
+        v = dep(env, env.readFlagValue(ia32::FlagZf), v, 6, 1);
+        v = dep(env, env.readFlagValue(ia32::FlagSf), v, 7, 1);
+        env.writeGuest8(ia32::RegAh, v);
+        return true;
+      }
+      case Op::Cld:
+        env.emitOp(IpfOp::Mov, ipf::gr_flag_df, ipf::gr_zero);
+        return true;
+      case Op::Std: {
+        int16_t one = env.immGr(1);
+        env.emitOp(IpfOp::Mov, ipf::gr_flag_df, one);
+        return true;
+      }
+      case Op::Nop:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+tplAlu(EmitEnv &env, const Insn &insn)
+{
+    unsigned size = opndSize(insn);
+    uint32_t written = ia32::insnFlagsWritten(insn);
+
+    switch (insn.op) {
+      case Op::Add:
+      case Op::Adc:
+      case Op::Sub:
+      case Op::Sbb:
+      case Op::Cmp:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Test: {
+        int16_t a = env.readOperand(insn.dst, size);
+        int16_t b = env.readOperand(insn.src, size);
+        bool is_add = insn.op == Op::Add || insn.op == Op::Adc;
+        bool is_sub = insn.op == Op::Sub || insn.op == Op::Sbb ||
+                      insn.op == Op::Cmp;
+        int16_t wide, res;
+        if (is_add || is_sub) {
+            wide = env.newGr();
+            env.emitOp(is_add ? IpfOp::Add : IpfOp::Sub, wide, a, b);
+            if (insn.op == Op::Adc || insn.op == Op::Sbb) {
+                int16_t cf = env.readFlagValue(ia32::FlagCf);
+                int16_t wide2 = env.newGr();
+                env.emitOp(insn.op == Op::Adc ? IpfOp::Add : IpfOp::Sub,
+                           wide2, wide, cf);
+                wide = wide2;
+            }
+            res = zxt(env, wide, size);
+            env.setFlags(is_add ? LazyFlags::Kind::Add
+                                : LazyFlags::Kind::Sub,
+                         size, wide, a, b, res, written);
+        } else {
+            res = env.newGr();
+            IpfOp op = insn.op == Op::Or ? IpfOp::Or
+                     : insn.op == Op::Xor ? IpfOp::Xor
+                                          : IpfOp::And;
+            env.emitOp(op, res, a, b);
+            env.setFlags(LazyFlags::Kind::Logic, size, res, a, b, res,
+                         written);
+        }
+        if (insn.op != Op::Cmp && insn.op != Op::Test)
+            env.writeOperand(insn.dst, res, size);
+        return true;
+      }
+
+      case Op::Inc:
+      case Op::Dec: {
+        int16_t a = env.readOperand(insn.dst, size);
+        int16_t one = env.immGr(1);
+        int16_t wide = env.newGr();
+        env.emitOp(insn.op == Op::Inc ? IpfOp::Add : IpfOp::Sub, wide, a,
+                   one);
+        int16_t res = zxt(env, wide, size);
+        env.setFlags(insn.op == Op::Inc ? LazyFlags::Kind::Add
+                                        : LazyFlags::Kind::Sub,
+                     size, wide, a, one, res, written);
+        env.writeOperand(insn.dst, res, size);
+        return true;
+      }
+
+      case Op::Neg: {
+        int16_t a = env.readOperand(insn.dst, size);
+        int16_t wide = env.newGr();
+        env.emitOp(IpfOp::Sub, wide, ipf::gr_zero, a);
+        int16_t res = zxt(env, wide, size);
+        env.setFlags(LazyFlags::Kind::Sub, size, wide, ipf::gr_zero, a,
+                     res, written);
+        env.writeOperand(insn.dst, res, size);
+        return true;
+      }
+
+      case Op::Not: {
+        int16_t a = env.readOperand(insn.dst, size);
+        int16_t ones = env.immGr(static_cast<int64_t>(
+            ia32::sizeMask(size)));
+        int16_t res = env.newGr();
+        env.emitOp(IpfOp::Xor, res, a, ones);
+        env.writeOperand(insn.dst, res, size);
+        return true;
+      }
+
+      case Op::Imul2: {
+        int16_t a = env.readOperand(insn.dst, size);
+        int16_t b = env.readOperand(insn.src, size);
+        int16_t wide = env.newGr();
+        env.emitOp(IpfOp::Xmul, wide, sxt(env, a, size), sxt(env, b, size));
+        int16_t res = zxt(env, wide, size);
+        // SF/ZF/PF defined deterministically from the result; CF=OF set
+        // when the product does not fit the destination.
+        env.setFlags(LazyFlags::Kind::Logic, size, res, a, b, res,
+                     written);
+        auto [p, p2] = cmp(env, CmpRel::Ne, wide, sxt(env, res, size));
+        int16_t v = predToGr(env, p);
+        env.setFlagHome(ia32::FlagCf, v);
+        env.setFlagHome(ia32::FlagOf, v);
+        env.writeOperand(insn.dst, res, size);
+        return true;
+      }
+
+      case Op::Mul1:
+      case Op::Imul1: {
+        int16_t a = env.readGuest(ia32::RegEax);
+        int16_t b = env.readOperand(insn.src, 4);
+        bool is_signed = insn.op == Op::Imul1;
+        int16_t wa = is_signed ? sxt(env, a, 4) : a;
+        int16_t wb = is_signed ? sxt(env, b, 4) : b;
+        int16_t wide = env.newGr();
+        env.emitOp(IpfOp::Xmul, wide, wa, wb);
+        int16_t lo = zxt(env, wide, 4);
+        int16_t hi = env.newGr();
+        Il sh = env.mk(IpfOp::ShrUImm);
+        sh.dst = hi;
+        sh.src1 = wide;
+        sh.ins.imm = 32;
+        env.emit(sh);
+        int16_t hi32 = zxt(env, hi, 4);
+        env.setFlags(LazyFlags::Kind::Logic, 4, lo, a, b, lo, written);
+        int16_t over;
+        if (is_signed) {
+            auto [p, p2] = cmp(env, CmpRel::Ne, wide, sxt(env, lo, 4));
+            over = predToGr(env, p);
+        } else {
+            auto [p, p2] = cmpImm(env, CmpRel::Ne, 0, hi32);
+            over = predToGr(env, p);
+        }
+        env.setFlagHome(ia32::FlagCf, over);
+        env.setFlagHome(ia32::FlagOf, over);
+        env.writeGuest(ia32::RegEax, lo, 4);
+        env.writeGuest(ia32::RegEdx, hi32, 4);
+        return true;
+      }
+
+      case Op::Div:
+      case Op::Idiv: {
+        int16_t b = env.readOperand(insn.src, 4);
+        auto [pz, pnz] = cmpImm(env, CmpRel::Eq, 0, b);
+        env.emitGuestFaultCheck(pz, FaultKind::DivideError);
+        int16_t lo = env.readGuest(ia32::RegEax);
+        int16_t hi = env.readGuest(ia32::RegEdx);
+        int16_t hi_sh = env.newGr();
+        Il sh = env.mk(IpfOp::ShlImm);
+        sh.dst = hi_sh;
+        sh.src1 = hi;
+        sh.ins.imm = 32;
+        env.emit(sh);
+        int16_t d = env.newGr();
+        env.emitOp(IpfOp::Or, d, hi_sh, lo);
+        int16_t q = env.newGr(), r = env.newGr();
+        if (insn.op == Op::Div) {
+            env.emitOp(IpfOp::XDivU, q, d, b);
+            env.emitOp(IpfOp::XRemU, r, d, b);
+            int16_t qhi = env.newGr();
+            Il s2 = env.mk(IpfOp::ShrUImm);
+            s2.dst = qhi;
+            s2.src1 = q;
+            s2.ins.imm = 32;
+            env.emit(s2);
+            auto [po, po2] = cmpImm(env, CmpRel::Ne, 0, qhi);
+            env.emitGuestFaultCheck(po, FaultKind::DivideError);
+        } else {
+            int16_t sb = sxt(env, b, 4);
+            // INT64_MIN / -1 overflows the divide macro itself.
+            int16_t min64 = env.immGr(INT64_MIN);
+            auto [pm, pm2] = cmp(env, CmpRel::Eq, d, min64);
+            int16_t mone = env.immGr(-1);
+            int16_t pboth = env.newPr(), pboth2 = env.newPr();
+            Il c2 = env.mk(IpfOp::Cmp);
+            c2.qp = pm;
+            c2.dst = pboth;
+            c2.dst2 = pboth2;
+            c2.src1 = sb;
+            c2.src2 = mone;
+            c2.ins.crel = CmpRel::Eq;
+            env.emit(c2);
+            // pboth is only meaningful when pm was true; clear otherwise.
+            int16_t flagv = predToGr(env, pm);
+            int16_t bothv = predToGr(env, pboth);
+            int16_t andv = env.newGr();
+            env.emitOp(IpfOp::And, andv, flagv, bothv);
+            auto [pf, pf2] = cmpImm(env, CmpRel::Ne, 0, andv);
+            env.emitGuestFaultCheck(pf, FaultKind::DivideError);
+            env.emitOp(IpfOp::XDivS, q, d, sb);
+            env.emitOp(IpfOp::XRemS, r, d, sb);
+            auto [po, po2] = cmp(env, CmpRel::Ne, q, sxt(env, q, 4));
+            env.emitGuestFaultCheck(po, FaultKind::DivideError);
+        }
+        env.writeGuest(ia32::RegEax, q, 4, /*clean=*/false);
+        env.writeGuest(ia32::RegEdx, r, 4, /*clean=*/false);
+        return true;
+      }
+
+      default:
+        return false;
+    }
+}
+
+bool
+tplShift(EmitEnv &env, const Insn &insn)
+{
+    unsigned size = opndSize(insn);
+    unsigned nbits = size * 8;
+    bool is_imm = insn.src.kind == OperandKind::Imm;
+    unsigned static_count =
+        is_imm ? (static_cast<unsigned>(insn.src.imm) & 31) : 0;
+    if (is_imm && static_count == 0)
+        return true; // count 0: no result write, no flag change
+
+    int16_t a = env.readOperand(insn.dst, size);
+    int16_t c;
+    if (is_imm) {
+        c = env.immGr(static_count);
+    } else {
+        int16_t raw = env.readGuest8(ia32::RegCl);
+        c = extrU(env, raw, 0, 5);
+    }
+
+    // Compute result and flag ingredients unconditionally.
+    int16_t res = -1;
+    int16_t cf = -1; // 0/1 value
+    int16_t of = -1;
+    unsigned lg = nbits == 32 ? 5 : nbits == 16 ? 4 : 3;
+    int16_t cm = -1; // count mod nbits (rotates)
+
+    switch (insn.op) {
+      case Op::Shl: {
+        int16_t wide = env.newGr();
+        env.emitOp(IpfOp::Shl, wide, a, c);
+        res = zxt(env, wide, size);
+        cf = extrU(env, wide, nbits, 1);
+        int16_t msb = extrU(env, res, nbits - 1, 1);
+        of = env.newGr();
+        env.emitOp(IpfOp::Xor, of, msb, cf);
+        break;
+      }
+      case Op::Shr: {
+        int16_t wide = env.newGr();
+        env.emitOp(IpfOp::ShrU, wide, a, c);
+        res = wide;
+        int16_t one = env.immGr(1);
+        int16_t cm1 = env.newGr();
+        env.emitOp(IpfOp::Sub, cm1, c, one);
+        int16_t sh = env.newGr();
+        env.emitOp(IpfOp::ShrU, sh, a, cm1);
+        cf = extrU(env, sh, 0, 1);
+        of = extrU(env, a, nbits - 1, 1);
+        break;
+      }
+      case Op::Sar: {
+        int16_t sa = sxt(env, a, size);
+        int16_t wide = env.newGr();
+        env.emitOp(IpfOp::Shr, wide, sa, c);
+        res = zxt(env, wide, size);
+        int16_t one = env.immGr(1);
+        int16_t cm1 = env.newGr();
+        env.emitOp(IpfOp::Sub, cm1, c, one);
+        int16_t sh = env.newGr();
+        env.emitOp(IpfOp::Shr, sh, sa, cm1);
+        cf = extrU(env, sh, 0, 1);
+        of = ipf::gr_zero;
+        break;
+      }
+      case Op::Rol:
+      case Op::Ror: {
+        cm = extrU(env, c, 0, lg);
+        int16_t nb = env.immGr(nbits);
+        int16_t nc = env.newGr();
+        env.emitOp(IpfOp::Sub, nc, nb, cm);
+        int16_t t1 = env.newGr(), t2 = env.newGr();
+        if (insn.op == Op::Rol) {
+            env.emitOp(IpfOp::Shl, t1, a, cm);
+            env.emitOp(IpfOp::ShrU, t2, a, nc);
+        } else {
+            env.emitOp(IpfOp::ShrU, t1, a, cm);
+            env.emitOp(IpfOp::Shl, t2, a, nc);
+        }
+        int16_t orv = env.newGr();
+        env.emitOp(IpfOp::Or, orv, t1, t2);
+        res = zxt(env, orv, size);
+        if (insn.op == Op::Rol)
+            cf = extrU(env, res, 0, 1);
+        else
+            cf = extrU(env, res, nbits - 1, 1);
+        // OF (count==1 form) per the reference interpreter.
+        int16_t msb = extrU(env, res, nbits - 1, 1);
+        int16_t nxt = extrU(env, res, insn.op == Op::Rol ? 0
+                                                         : nbits - 2,
+                            1);
+        of = env.newGr();
+        env.emitOp(IpfOp::Xor, of, msb,
+                   insn.op == Op::Rol ? cf : nxt);
+        break;
+      }
+      default:
+        return false;
+    }
+
+    bool rotate = insn.op == Op::Rol || insn.op == Op::Ror;
+
+    if (is_imm) {
+        env.writeOperand(insn.dst, res, size);
+        if (!rotate) {
+            env.setFlags(LazyFlags::Kind::Logic, size, res, a, a, res,
+                         ia32::FlagsArith);
+            // Override CF (and OF for count==1) after the Logic recipe.
+            env.setFlagHome(ia32::FlagCf, cf);
+            if (static_count == 1)
+                env.setFlagHome(ia32::FlagOf, of);
+            else if (insn.op == Op::Shl || insn.op == Op::Shr)
+                env.setFlagHome(ia32::FlagOf, ipf::gr_zero);
+            if (insn.op == Op::Sar)
+                env.setFlagHome(ia32::FlagOf, ipf::gr_zero);
+        } else {
+            env.materializeFlags(ia32::FlagCf | ia32::FlagOf);
+            env.setFlagHome(ia32::FlagCf, cf);
+            env.setFlagHome(ia32::FlagOf,
+                            static_count == 1 ? of : ipf::gr_zero);
+        }
+        return true;
+    }
+
+    // Dynamic (CL) count: results and flags change only when count != 0.
+    auto [pnz, pz] = cmpImm(env, CmpRel::Ne, 0, c);
+    // Merge the result.
+    int16_t merged = env.newGr();
+    env.emitOp(IpfOp::Mov, merged, a);
+    movIf(env, pnz, merged, res);
+    env.writeOperand(insn.dst, merged, size);
+
+    // Flags: materialize the old state, then predicated-update homes.
+    env.materializeFlags(ia32::FlagsArith);
+    auto setIf = [&](Flag flag, int16_t val01) {
+        Il il = env.mk(IpfOp::Mov);
+        il.qp = pnz;
+        il.dst = env.readFlagValue(flag); // home register id
+        il.src1 = val01;
+        env.emit(il);
+    };
+    setIf(ia32::FlagCf, cf);
+    if (!rotate) {
+        // ZF/SF/PF from the result; AF cleared.
+        int16_t zf;
+        {
+            auto [pzf, pzf2] = cmpImm(env, CmpRel::Eq, 0, res);
+            zf = predToGr(env, pzf);
+        }
+        setIf(ia32::FlagZf, zf);
+        setIf(ia32::FlagSf, extrU(env, res, nbits - 1, 1));
+        int16_t lob = extrU(env, res, 0, 8);
+        int16_t pc = env.newGr();
+        env.emitOp(IpfOp::Popcnt, pc, lob);
+        int16_t lsb = extrU(env, pc, 0, 1);
+        int16_t onev = env.immGr(1);
+        int16_t pf = env.newGr();
+        env.emitOp(IpfOp::Xor, pf, lsb, onev);
+        setIf(ia32::FlagPf, pf);
+        setIf(ia32::FlagAf, ipf::gr_zero);
+    }
+    // OF: only for count==1.
+    int16_t of_final = env.newGr();
+    env.emitOp(IpfOp::Mov, of_final, ipf::gr_zero);
+    {
+        auto [p1, p1b] = cmpImm(env, CmpRel::Eq, 1, c);
+        movIf(env, p1, of_final, of);
+    }
+    setIf(ia32::FlagOf, of_final);
+    return true;
+}
+
+bool
+tplCond(EmitEnv &env, const Insn &insn)
+{
+    unsigned size = opndSize(insn);
+    switch (insn.op) {
+      case Op::Setcc: {
+        int16_t p = env.condPred(insn.cond);
+        env.writeOperand(insn.dst, predToGr(env, p), 1);
+        return true;
+      }
+      case Op::Cmovcc: {
+        int16_t v = env.readOperand(insn.src, size);
+        int16_t p = env.condPred(insn.cond);
+        int16_t cur = env.readOperand(insn.dst, size);
+        int16_t merged = env.newGr();
+        env.emitOp(IpfOp::Mov, merged, cur);
+        movIf(env, p, merged, v);
+        env.writeOperand(insn.dst, merged, size);
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+// ----- string templates ----------------------------------------------
+
+bool
+tplString(EmitEnv &env, const Insn &insn)
+{
+    unsigned size = opndSize(insn);
+    // String code operates on the home registers directly so that each
+    // iteration retires architecturally (REP is restartable).
+    if (env.phase == Phase::Hot)
+        env.closeRegion();
+
+    int16_t step = env.newGr();
+    {
+        // step = DF ? -size : size
+        int16_t pos = env.immGr(size);
+        env.emitOp(IpfOp::Mov, step, pos);
+        auto [pdf, pdf2] = cmpImm(env, CmpRel::Ne, 0, ipf::gr_flag_df);
+        int16_t negv = env.immGr(-static_cast<int64_t>(size));
+        movIf(env, pdf, step, negv);
+    }
+
+    const int16_t esi = ipf::grForGuest(ia32::RegEsi);
+    const int16_t edi = ipf::grForGuest(ia32::RegEdi);
+    const int16_t ecx = ipf::grForGuest(ia32::RegEcx);
+    const int16_t eax = ipf::grForGuest(ia32::RegEax);
+
+    int32_t loop_head = -1;
+    int16_t p_done = -1;
+    if (insn.rep) {
+        loop_head = static_cast<int32_t>(env.body.size());
+        auto [pz, pnz] = cmpImm(env, CmpRel::Eq, 0, ecx);
+        p_done = pz;
+        // Forward branch out of the loop; patched below.
+        Il br = env.mk(IpfOp::Br);
+        br.qp = p_done;
+        br.target_il = -1; // patched to loop_end
+        env.emit(br);
+    }
+    int32_t br_out_idx = insn.rep
+        ? static_cast<int32_t>(env.body.size()) - 1
+        : -1;
+
+    auto advance = [&](int16_t reg) {
+        int16_t t = env.newGr();
+        env.emitOp(IpfOp::Add, t, reg, step);
+        int16_t z = zxt(env, t, 4);
+        Il mv = env.mk(IpfOp::Mov);
+        mv.dst = reg;
+        mv.src1 = z;
+        mv.is_ordered = true;
+        env.emit(mv);
+    };
+
+    switch (insn.op) {
+      case Op::Movs: {
+        int16_t v = env.emitLoad(esi, size);
+        env.emitStore(edi, v, size);
+        advance(esi);
+        advance(edi);
+        break;
+      }
+      case Op::Stos: {
+        int16_t v = size == 4 ? eax : extrU(env, eax, 0, size * 8);
+        env.emitStore(edi, v, size);
+        advance(edi);
+        break;
+      }
+      case Op::Lods: {
+        int16_t v = env.emitLoad(esi, size);
+        if (size == 4) {
+            Il mv = env.mk(IpfOp::Mov);
+            mv.dst = eax;
+            mv.src1 = zxt(env, v, 4);
+            mv.is_ordered = true;
+            env.emit(mv);
+        } else {
+            int16_t merged = dep(env, v, eax, 0, size * 8);
+            Il mv = env.mk(IpfOp::Mov);
+            mv.dst = eax;
+            mv.src1 = merged;
+            mv.is_ordered = true;
+            env.emit(mv);
+        }
+        advance(esi);
+        break;
+      }
+      default:
+        return false;
+    }
+
+    if (insn.rep) {
+        // ecx -= 1; loop back.
+        int16_t t = env.newGr();
+        env.emitOp(IpfOp::AddImm, t, ecx, -1, -1);
+        int16_t z = zxt(env, t, 4);
+        Il mv = env.mk(IpfOp::Mov);
+        mv.dst = ecx;
+        mv.src1 = z;
+        mv.is_ordered = true;
+        env.emit(mv);
+        Il back = env.mk(IpfOp::Br);
+        back.target_il = loop_head;
+        env.emit(back);
+        int32_t loop_end = static_cast<int32_t>(env.body.size());
+        env.body.ils[br_out_idx].target_il = loop_end;
+        // Insert a label anchor so loop_end is a valid IL index.
+        env.emit(env.mk(IpfOp::Nop));
+    }
+    return true;
+}
+
+} // namespace
+
+// x87 / MMX / SSE templates live in templates_fp.cc.
+bool tplX87(EmitEnv &env, const Insn &insn);
+bool tplMmx(EmitEnv &env, const Insn &insn);
+bool tplSse(EmitEnv &env, const Insn &insn);
+
+bool
+translateInsn(EmitEnv &env, const Insn &insn)
+{
+    const ia32::OpInfo &info = ia32::opInfo(insn.op);
+    if (info.is_fp)
+        return tplX87(env, insn);
+    if (info.is_mmx)
+        return tplMmx(env, insn);
+    if (info.is_sse)
+        return tplSse(env, insn);
+
+    switch (insn.op) {
+      case Op::Mov:
+      case Op::Movzx:
+      case Op::Movsx:
+      case Op::Lea:
+      case Op::Xchg:
+      case Op::Push:
+      case Op::Pop:
+      case Op::Leave:
+      case Op::Cdq:
+      case Op::Sahf:
+      case Op::Lahf:
+      case Op::Cld:
+      case Op::Std:
+      case Op::Nop:
+        return tplMovFamily(env, insn);
+      case Op::Add:
+      case Op::Adc:
+      case Op::Sub:
+      case Op::Sbb:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Cmp:
+      case Op::Test:
+      case Op::Inc:
+      case Op::Dec:
+      case Op::Neg:
+      case Op::Not:
+      case Op::Imul2:
+      case Op::Mul1:
+      case Op::Imul1:
+      case Op::Div:
+      case Op::Idiv:
+        return tplAlu(env, insn);
+      case Op::Shl:
+      case Op::Shr:
+      case Op::Sar:
+      case Op::Rol:
+      case Op::Ror:
+        return tplShift(env, insn);
+      case Op::Setcc:
+      case Op::Cmovcc:
+        return tplCond(env, insn);
+      case Op::Movs:
+      case Op::Stos:
+      case Op::Lods:
+        return tplString(env, insn);
+      default:
+        return false; // control transfers: handled by the drivers
+    }
+}
+
+} // namespace el::core

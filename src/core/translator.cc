@@ -1,0 +1,744 @@
+#include "core/translator.hh"
+
+#include "ia32/decoder.hh"
+#include "support/logging.hh"
+
+namespace el::core
+{
+
+using ia32::Insn;
+using ia32::Op;
+using ipf::ExitReason;
+using ipf::IpfOp;
+
+Translator::Translator(const Options &opts, mem::Memory &memory,
+                       ipf::CodeCache &cache, uint64_t rt_base)
+    : options(opts), mem_(memory), cache_(cache), rt_base_(rt_base)
+{
+}
+
+bool
+Translator::specMatches(const BlockInfo &block, const SpecContext &spec)
+{
+    if (block.invalidated)
+        return false;
+    const GuardInfo &g = block.guard;
+    if (g.checks_fp) {
+        if (spec.tos != g.expect_tos)
+            return false;
+        if ((spec.tag & g.need_valid) != g.need_valid)
+            return false;
+        if ((spec.tag & g.need_empty) != 0)
+            return false;
+    }
+    // Domain and XMM-format mismatches are repaired by the runtime
+    // (cheap conversions), so they do not select variants.
+    return true;
+}
+
+int64_t
+Translator::allocProfile(uint32_t bytes)
+{
+    int64_t off = profile_next_;
+    profile_next_ += (bytes + 7) & ~7u;
+    el_assert(profile_next_ < static_cast<int64_t>(rt::area_size),
+              "profile area exhausted");
+    return off;
+}
+
+uint32_t
+Translator::readCounter(int64_t off) const
+{
+    uint64_t v = 0;
+    mem_.readPriv(rt_base_ + static_cast<uint64_t>(off), 4, &v);
+    return static_cast<uint32_t>(v);
+}
+
+BlockInfo *
+Translator::blockById(int32_t id)
+{
+    if (id < 0 || id >= static_cast<int32_t>(blocks_.size()))
+        return nullptr;
+    return blocks_[id].get();
+}
+
+BlockInfo *
+Translator::dispatch(uint32_t eip, const SpecContext &spec)
+{
+    auto hit = hot_map_.find(eip);
+    if (hit != hot_map_.end()) {
+        for (Variant &v : hit->second)
+            if (specMatches(*v.block, spec))
+                return v.block;
+    }
+    auto cit = cold_map_.find(eip);
+    if (cit != cold_map_.end()) {
+        for (Variant &v : cit->second)
+            if (specMatches(*v.block, spec))
+                return v.block;
+    }
+    MisalignStage stage = MisalignStage::Light;
+    auto mit = misalign_.find(eip);
+    if (mit != misalign_.end() && mit->second.observed)
+        stage = MisalignStage::Detailed;
+    return translateCold(eip, spec, stage);
+}
+
+BlockInfo *
+Translator::dispatchCold(uint32_t eip, const SpecContext &spec,
+                         bool fresh_variant)
+{
+    if (!fresh_variant) {
+        auto cit = cold_map_.find(eip);
+        if (cit != cold_map_.end()) {
+            for (Variant &v : cit->second)
+                if (specMatches(*v.block, spec))
+                    return v.block;
+        }
+    }
+    auto mit = misalign_.find(eip);
+    MisalignStage stage =
+        (mit != misalign_.end() && mit->second.observed)
+            ? MisalignStage::Detailed
+            : MisalignStage::Light;
+    return translateCold(eip, spec, stage);
+}
+
+void
+Translator::disableHeat(BlockInfo *block)
+{
+    if (!block || block->cache_entry < 0)
+        return;
+    for (int64_t i = block->cache_entry; i < block->cache_end; ++i) {
+        ipf::Instr &in = cache_.at(i);
+        if (in.op == IpfOp::Exit &&
+            in.exit_reason == ExitReason::RegisterHot) {
+            in.op = IpfOp::Nop;
+            in.exit_reason = ExitReason::None;
+        }
+    }
+}
+
+void
+Translator::recordMisalignment(uint32_t block_eip)
+{
+    MisalignHistory &h = misalign_[block_eip];
+    h.observed = true;
+    stats.add("misalign.events");
+}
+
+void
+Translator::discardHotBlock(BlockInfo *block)
+{
+    if (!block || block->invalidated)
+        return;
+    block->invalidated = true;
+    cache_.invalidateEntry(block->cache_entry, ExitReason::Resync,
+                           block->entry_eip);
+    MisalignHistory &h = misalign_[block->entry_eip];
+    h.force_avoid = true;
+    stats.add("hot.discarded_for_misalignment");
+}
+
+void
+Translator::invalidateRange(uint32_t addr, uint32_t len)
+{
+    for (auto &bp : blocks_) {
+        BlockInfo &b = *bp;
+        if (b.invalidated)
+            continue;
+        // Conservative: invalidate blocks whose entry lies in the range
+        // or that were translated from code marked on those pages.
+        if (b.entry_eip >= addr && b.entry_eip < addr + len) {
+            b.invalidated = true;
+            cache_.invalidateEntry(b.cache_entry, ExitReason::Resync,
+                                   b.entry_eip);
+        }
+    }
+    stats.add("smc.invalidations");
+}
+
+BlockInfo *
+Translator::regenerateForMisalignment(uint32_t eip,
+                                      const SpecContext &spec)
+{
+    recordMisalignment(eip);
+    // Invalidate existing variants at this EIP; regenerate at stage 2.
+    auto cit = cold_map_.find(eip);
+    if (cit != cold_map_.end()) {
+        for (Variant &v : cit->second) {
+            if (!v.block->invalidated) {
+                v.block->invalidated = true;
+                cache_.invalidateEntry(v.block->cache_entry,
+                                       ExitReason::Resync, eip);
+            }
+        }
+        cold_map_.erase(cit);
+    }
+    stats.add("misalign.block_regenerations");
+    return translateCold(eip, spec, MisalignStage::Detailed);
+}
+
+void
+Translator::emitBlockEnd(EmitEnv &env, const BasicBlock &bb,
+                         BlockInfo *info, bool trace_mode,
+                         int32_t loop_target_il)
+{
+    const Insn *last = bb.insns.empty() ? nullptr : &bb.insns.back();
+    bool has_branch = last && ia32::endsBlock(*last);
+
+    auto sync_for_exit = [&]() {
+        if (trace_mode)
+            env.syncAllToHomes();
+        env.emitStatusTail();
+    };
+
+    if (!has_branch) {
+        uint32_t next = bb.fall ? bb.fall
+                      : (last ? last->next() : bb.start);
+        sync_for_exit();
+        env.endBranch(next);
+        return;
+    }
+
+    const Insn &insn = *last;
+    switch (insn.op) {
+      case Op::Jcc: {
+        env.beginInsn(insn, bb.flags_live_out);
+        int16_t p = env.condPred(insn.cond);
+        if (!trace_mode && info->edge_ctr_off >= 0)
+            env.emitEdgeCounter(info->edge_ctr_off, p);
+        env.endInsn();
+        sync_for_exit();
+        env.endBranch(insn.target(), p);
+        env.endBranch(insn.next());
+        info->ends_cond = true;
+        info->taken_eip = insn.target();
+        info->fall_eip = insn.next();
+        return;
+      }
+      case Op::Jmp:
+        sync_for_exit();
+        env.endBranch(insn.target());
+        return;
+      case Op::Call: {
+        env.beginInsn(insn, bb.flags_live_out);
+        Insn push = insn;
+        push.op = Op::Push;
+        push.op_size = 4;
+        push.dst = ia32::Operand::makeImm(insn.next());
+        push.src = ia32::Operand{};
+        translateInsn(env, push);
+        env.endInsn();
+        sync_for_exit();
+        env.endBranch(insn.target());
+        return;
+      }
+      case Op::CallInd: {
+        env.beginInsn(insn, bb.flags_live_out);
+        int16_t t = env.readOperand(insn.src, 4);
+        Insn push = insn;
+        push.op = Op::Push;
+        push.op_size = 4;
+        push.dst = ia32::Operand::makeImm(insn.next());
+        push.src = ia32::Operand{};
+        translateInsn(env, push);
+        env.endInsn();
+        sync_for_exit();
+        env.endIndirect(t);
+        info->ends_indirect = true;
+        return;
+      }
+      case Op::JmpInd: {
+        env.beginInsn(insn, bb.flags_live_out);
+        int16_t t = env.readOperand(insn.src, 4);
+        env.endInsn();
+        sync_for_exit();
+        env.endIndirect(t);
+        info->ends_indirect = true;
+        return;
+      }
+      case Op::Ret: {
+        env.beginInsn(insn, bb.flags_live_out);
+        int16_t esp = env.readGuest(ia32::RegEsp);
+        int16_t t = env.emitLoad(esp, 4);
+        int16_t na = env.newGr();
+        env.emitOp(IpfOp::AddImm, na, esp, -1,
+                   4 + static_cast<int64_t>(insn.src.imm));
+        env.writeGuest(ia32::RegEsp, na, 4, /*clean=*/false);
+        env.endInsn();
+        sync_for_exit();
+        env.endIndirect(t);
+        info->ends_indirect = true;
+        return;
+      }
+      case Op::Int: {
+        env.beginInsn(insn, bb.flags_live_out);
+        env.endInsn();
+        sync_for_exit();
+        int64_t payload =
+            (static_cast<int64_t>(insn.src.imm & 0xff) << 32) |
+            insn.next();
+        env.endExit(ExitReason::SyscallGate, payload);
+        return;
+      }
+      case Op::Int3:
+        sync_for_exit();
+        env.endExit(ExitReason::Breakpoint, insn.addr);
+        return;
+      case Op::Hlt:
+        sync_for_exit();
+        env.endExit(ExitReason::Halt, insn.next());
+        return;
+      default:
+        sync_for_exit();
+        env.endExit(ExitReason::GuestFault,
+                    (static_cast<int64_t>(insn.addr) << 8) |
+                        static_cast<int64_t>(
+                            ia32::FaultKind::InvalidOpcode));
+        return;
+    }
+    (void)loop_target_il;
+}
+
+bool
+Translator::finishBlock(EmitEnv &env, BlockInfo *info, bool reorder)
+{
+    // Concatenate head (guards + instrumentation) and body, fixing up
+    // body-relative IL references.
+    int32_t off = static_cast<int32_t>(env.head.size());
+    std::vector<Il> all;
+    all.reserve(env.head.size() + env.body.size());
+    for (const Il &il : env.head.ils)
+        all.push_back(il);
+    for (Il il : env.body.ils) {
+        if (il.target_il >= 0)
+            il.target_il += off;
+        all.push_back(il);
+    }
+
+    ScheduleResult res =
+        schedule(std::move(all), cache_, options, reorder,
+                 options.enable_load_speculation && reorder,
+                 &env.recovery);
+    if (!res.ok) {
+        stats.add("sched.failures");
+        return false;
+    }
+    info->cache_entry = res.entry;
+    info->cache_end = res.end;
+    info->recovery = std::move(env.recovery);
+    info->guard = env.guard;
+    for (const auto &stub : env.pending_stubs) {
+        int64_t ci = res.il_to_cache[stub.il_index + off];
+        el_assert(ci >= 0, "stub IL lost in scheduling");
+        info->stubs.push_back({ci, stub.target_eip, false});
+    }
+    stats.add("sched.groups", res.groups);
+    stats.add("sched.dead_removed", res.dead_removed);
+    stats.add("sched.loads_speculated", res.loads_speculated);
+    stats.add(reorder ? "xlate.hot_ipf_insns" : "xlate.cold_ipf_insns",
+              res.end - res.entry);
+    return true;
+}
+
+BlockInfo *
+Translator::translateCold(uint32_t eip, const SpecContext &spec,
+                          MisalignStage stage)
+{
+    Region region = discoverRegion(mem_, eip, options.analysis_window);
+    computeFlagsLiveness(region);
+    const BasicBlock *bb = region.find(eip);
+    if (!bb || (bb->insns.empty() && !bb->ends_stop))
+        return nullptr;
+
+    auto info_holder = std::make_unique<BlockInfo>();
+    BlockInfo *info = info_holder.get();
+    info->id = static_cast<int32_t>(blocks_.size());
+    info->kind = BlockKind::Cold;
+    info->entry_eip = eip;
+    info->misalign_stage = stage;
+    info->insn_count = static_cast<uint32_t>(bb->insns.size());
+
+    EmitEnv env(options, Phase::Cold, info->id, spec);
+    (void)env;
+
+    if (bb->insns.empty()) {
+        // Nothing decodable at the entry itself: a precise guest fault.
+        ia32::FaultKind kind = bb->fetch_fault
+                                   ? ia32::FaultKind::PageFault
+                                   : ia32::FaultKind::InvalidOpcode;
+        env.endExit(ipf::ExitReason::GuestFault,
+                    (static_cast<int64_t>(eip) << 8) |
+                        static_cast<int64_t>(kind));
+        if (!finishBlock(env, info, false))
+            return nullptr;
+        cold_map_[eip].push_back({spec, info});
+        blocks_.push_back(std::move(info_holder));
+        return info;
+    }
+
+    if (options.enable_misalign_avoidance &&
+        stage == MisalignStage::Detailed) {
+        info->misalign_ctr_off = allocProfile(
+            (static_cast<uint32_t>(bb->insns.size()) * 2 + 8) * 4);
+    }
+
+    if (!bb->insns.empty() && bb->insns.back().op == Op::Jcc)
+        info->edge_ctr_off = allocProfile(4);
+
+    // Generate the block; on renaming-pool exhaustion (possible for
+    // pathological very long blocks), retry with a shorter prefix —
+    // the remainder becomes a fall-through successor block.
+    size_t limit = bb->insns.size();
+    bool built = false;
+    uint32_t fxch_emitted = 0;
+    uint32_t access_count = 0;
+    while (!built) {
+        EmitEnv attempt(options, Phase::Cold, info->id, spec);
+        attempt.setMisalignCtrOff(env.options.enable_misalign_avoidance &&
+                                          info->misalign_ctr_off >= 0
+                                      ? info->misalign_ctr_off
+                                      : 0);
+        if (!options.enable_misalign_avoidance) {
+            attempt.setAccessPolicy(MisalignPolicy::Plain);
+        } else if (stage == MisalignStage::Light) {
+            attempt.setAccessPolicy(MisalignPolicy::DetectExit);
+        } else {
+            attempt.setAccessPolicy(MisalignPolicy::CountAndAvoid, 1);
+        }
+
+        BasicBlock view = *bb;
+        bool truncated = limit < bb->insns.size();
+        if (truncated) {
+            view.insns.resize(limit);
+            view.taken = 0;
+            view.fall = view.insns.back().next();
+            view.ends_indirect = false;
+            view.ends_stop = false;
+        }
+        std::vector<uint32_t> live =
+            perInsnLiveFlags(view, view.flags_live_out);
+
+        bool ended = false;
+        for (size_t k = 0; k < view.insns.size(); ++k) {
+            const Insn &insn = view.insns[k];
+            if (ia32::endsBlock(insn))
+                break; // handled by emitBlockEnd
+            attempt.beginInsn(insn, live[k]);
+            if (!translateInsn(attempt, insn)) {
+                attempt.emitStatusTail();
+                attempt.endExit(ExitReason::GuestFault,
+                                (static_cast<int64_t>(insn.addr) << 8) |
+                                    static_cast<int64_t>(
+                                        ia32::FaultKind::InvalidOpcode));
+                ended = true;
+                stats.add("xlate.unsupported_insn");
+                break;
+            }
+            attempt.endInsn();
+        }
+        if (!ended)
+            emitBlockEnd(attempt, view, info, false, -1);
+
+        // Head: SMC guard, speculation guards, use-counter.
+        attempt.beginHead();
+        if (mem_.check(eip, 1, mem::PermWrite)) {
+            uint64_t bytes = 0;
+            mem_.readPriv(eip, 8, &bytes);
+            attempt.emitSmcGuard(eip, bytes);
+            info->smc_guarded = true;
+        }
+        attempt.emitFpGuard(&info->guard);
+        attempt.emitMmxGuard(&info->guard);
+        attempt.emitXmmGuard(&info->guard);
+        if (options.enable_hot_phase) {
+            if (info->use_ctr_off < 0)
+                info->use_ctr_off = allocProfile(4);
+            attempt.emitUseCounter(info->use_ctr_off,
+                                   options.heat_threshold);
+        }
+
+        info->stubs.clear();
+        info->recovery.clear();
+        if (finishBlock(attempt, info, false)) {
+            built = true;
+            info->insn_count = static_cast<uint32_t>(view.insns.size());
+            fxch_emitted = attempt.fxch_emitted;
+            access_count = attempt.access_count;
+        } else {
+            if (limit <= 1)
+                return nullptr; // even a single instruction failed
+            limit /= 2;
+            stats.add("xlate.cold_retries");
+        }
+    }
+
+    info->misalign_accesses = access_count;
+    stats.add("xlate.cold_blocks");
+    stats.add("xlate.cold_insns", info->insn_count);
+    stats.add("fxch.emitted", fxch_emitted);
+    pending_cycles_ +=
+        options.cold_xlate_cost_per_insn * (info->insn_count + 1);
+
+    cold_map_[eip].push_back({spec, info});
+    blocks_.push_back(std::move(info_holder));
+    return info;
+}
+
+std::vector<const BasicBlock *>
+Translator::selectTrace(const Region &region, uint32_t eip, bool *loops)
+{
+    *loops = false;
+    std::vector<const BasicBlock *> trace;
+    std::map<uint32_t, bool> visited;
+    const BasicBlock *cur = region.find(eip);
+    unsigned insns = 0;
+
+    while (cur && trace.size() < options.max_trace_blocks &&
+           insns + cur->insns.size() <= options.max_trace_insns) {
+        trace.push_back(cur);
+        visited[cur->start] = true;
+        insns += static_cast<unsigned>(cur->insns.size());
+        if (cur->ends_indirect || cur->ends_stop || cur->insns.empty())
+            break;
+        const Insn &last = cur->insns.back();
+        uint32_t next = 0;
+        if (last.op == Op::Jcc) {
+            // Follow the hotter edge using the cold block's counters.
+            uint32_t taken_n = 0, use_n = 1;
+            auto cit = cold_map_.find(cur->start);
+            if (cit != cold_map_.end() && !cit->second.empty()) {
+                const BlockInfo *cb = cit->second.front().block;
+                if (cb->use_ctr_off >= 0)
+                    use_n = std::max(1u, readCounter(cb->use_ctr_off));
+                if (cb->edge_ctr_off >= 0)
+                    taken_n = readCounter(cb->edge_ctr_off);
+            }
+            next = (2 * taken_n >= use_n) ? cur->taken : cur->fall;
+        } else if (last.op == Op::Jmp || last.op == Op::Call) {
+            next = cur->taken;
+        } else if (!ia32::endsBlock(last)) {
+            next = cur->fall;
+        }
+        if (!next)
+            break;
+        if (next == trace.front()->start) {
+            *loops = true;
+            break;
+        }
+        if (visited.count(next))
+            break;
+        cur = region.find(next);
+    }
+    return trace;
+}
+
+BlockInfo *
+Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
+{
+    Region region = discoverRegion(mem_, entry_eip, 32);
+    computeFlagsLiveness(region);
+    bool loops = false;
+    std::vector<const BasicBlock *> trace =
+        selectTrace(region, entry_eip, &loops);
+    if (trace.empty() || trace[0]->insns.empty())
+        return nullptr;
+
+    unsigned trace_insns = 0;
+    for (const BasicBlock *b : trace)
+        trace_insns += static_cast<unsigned>(b->insns.size());
+
+    // Loop unrolling (section 2: "If a loop is identified, it may be
+    // unrolled").
+    unsigned copies = 1;
+    if (loops && options.enable_unroll &&
+        trace_insns * options.unroll_factor <= options.max_trace_insns) {
+        copies = options.unroll_factor;
+        stats.add("hot.loops_unrolled");
+    }
+
+    auto info_holder = std::make_unique<BlockInfo>();
+    BlockInfo *info = info_holder.get();
+    info->id = static_cast<int32_t>(blocks_.size());
+    info->kind = BlockKind::Hot;
+    info->entry_eip = entry_eip;
+    info->insn_count = trace_insns * copies;
+
+    EmitEnv env(options, Phase::Hot, info->id, spec);
+
+    bool any_misalign_history = false;
+    for (const auto &[beip, h] : misalign_)
+        any_misalign_history = any_misalign_history || h.observed;
+
+    bool aborted = false;
+    bool tail_done = false;
+    for (unsigned copy = 0; copy < copies && !aborted; ++copy) {
+        for (size_t ti = 0; ti < trace.size() && !aborted; ++ti) {
+            const BasicBlock *bb = trace[ti];
+
+            // Per-source-block misalignment policy (stage 3).
+            if (!options.enable_misalign_avoidance) {
+                env.setAccessPolicy(MisalignPolicy::Plain);
+            } else {
+                auto hit = misalign_.find(bb->start);
+                if (hit != misalign_.end() && hit->second.observed) {
+                    env.setAccessPolicy(MisalignPolicy::Avoid,
+                                        hit->second.granularity);
+                } else if (any_misalign_history) {
+                    env.setAccessPolicy(MisalignPolicy::DetectLight);
+                } else {
+                    env.setAccessPolicy(MisalignPolicy::Plain);
+                }
+            }
+
+            std::vector<uint32_t> live =
+                perInsnLiveFlags(*bb, bb->flags_live_out);
+            bool is_last_block =
+                (ti + 1 == trace.size()) && (copy + 1 == copies);
+
+            for (size_t k = 0; k < bb->insns.size(); ++k) {
+                const Insn &insn = bb->insns[k];
+                if (ia32::endsBlock(insn)) {
+                    // Trace-internal control flow.
+                    uint32_t on_trace = 0;
+                    if (!is_last_block || (loops && copy + 1 == copies)) {
+                        on_trace = (ti + 1 < trace.size())
+                                       ? trace[ti + 1]->start
+                                       : trace[0]->start;
+                    }
+                    if (insn.op == Op::Jcc && on_trace) {
+                        env.beginInsn(insn, live[k]);
+                        bool taken_on_trace = insn.target() == on_trace;
+                        uint32_t off_eip = taken_on_trace ? insn.next()
+                                                          : insn.target();
+                        int16_t p_off = env.condPred(
+                            taken_on_trace ? ia32::condNegate(insn.cond)
+                                           : insn.cond);
+                        env.endInsn();
+                        env.sideExit(p_off, off_eip);
+                        continue;
+                    }
+                    if (insn.op == Op::Call && on_trace &&
+                        insn.target() == on_trace) {
+                        env.beginInsn(insn, live[k]);
+                        Insn push = insn;
+                        push.op = Op::Push;
+                        push.op_size = 4;
+                        push.dst = ia32::Operand::makeImm(insn.next());
+                        push.src = ia32::Operand{};
+                        translateInsn(env, push);
+                        env.endInsn();
+                        continue;
+                    }
+                    if (insn.op == Op::Jmp && on_trace &&
+                        insn.target() == on_trace) {
+                        continue;
+                    }
+                    // Trace terminator.
+                    emitBlockEnd(env, *bb, info, true, -1);
+                    tail_done = true;
+                    break;
+                }
+                env.beginInsn(insn, live[k]);
+                if (!translateInsn(env, insn)) {
+                    aborted = true;
+                    break;
+                }
+                env.endInsn();
+                if (env.overflowed()) {
+                    aborted = true;
+                    break;
+                }
+            }
+            if (tail_done)
+                break;
+        }
+        if (tail_done)
+            break;
+    }
+    if (aborted) {
+        stats.add("hot.aborted");
+        return nullptr;
+    }
+
+    if (!tail_done) {
+        // Trace falls through its end: loop back or link out.
+        env.syncAllToHomes();
+        env.emitStatusTail();
+        bool can_loop = loops && env.tosDelta() == 0 &&
+                        env.tagSet() == 0 && env.tagClear() == 0 &&
+                        env.xmmEntryFormats() == env.xmmExitFormats();
+        if (can_loop) {
+            Il br = env.mk(IpfOp::Br);
+            br.target_il = 0; // body start (post-guard)
+            env.emit(br);
+            stats.add("hot.loopback_edges");
+        } else {
+            uint32_t next = trace.back()->insns.empty()
+                ? trace.back()->start
+                : (loops ? trace[0]->start
+                         : trace.back()->insns.back().next());
+            env.endBranch(next);
+        }
+    }
+
+    // Head: guards only (hot blocks carry no use counters).
+    env.beginHead();
+    env.emitFpGuard(&info->guard);
+    env.emitMmxGuard(&info->guard);
+    env.emitXmmGuard(&info->guard);
+
+    if (!finishBlock(env, info, true)) {
+        stats.add("hot.aborted");
+        return nullptr;
+    }
+
+    stats.add("xlate.hot_blocks");
+    stats.add("xlate.hot_insns", info->insn_count);
+    stats.add("xlate.hot_trace_blocks", trace.size() * copies);
+    stats.add("fxch.eliminated", env.fxch_eliminated);
+    stats.add("hot.commit_points", info->recovery.size());
+    pending_cycles_ +=
+        options.hot_xlate_cost_per_insn * (info->insn_count + 1);
+
+    hot_map_[entry_eip].push_back({spec, info});
+
+    // Redirect the cold entry so chained predecessors reach the hot
+    // version ("retranslates and further optimizes those hotspots").
+    auto cit = cold_map_.find(entry_eip);
+    if (cit != cold_map_.end()) {
+        for (Variant &v : cit->second) {
+            if (!v.block->invalidated &&
+                specMatches(*info, v.spec)) {
+                ipf::Instr &entry = cache_.at(v.block->cache_entry);
+                entry.op = IpfOp::Br;
+                entry.qp = 0;
+                entry.target = info->cache_entry;
+                entry.exit_reason = ExitReason::None;
+                entry.stop = true;
+                v.block->hot_version = info->id;
+            }
+        }
+    }
+
+    // Interior blocks of the trace are covered by this hot version;
+    // suppress their own hot registration so overlapping traces are not
+    // built for every entry point along the chain.
+    for (size_t ti = 1; ti < trace.size(); ++ti) {
+        auto it = cold_map_.find(trace[ti]->start);
+        if (it == cold_map_.end())
+            continue;
+        for (Variant &v : it->second) {
+            if (!v.block->invalidated && v.block->hot_version == -1) {
+                v.block->hot_version = info->id;
+                disableHeat(v.block);
+            }
+        }
+    }
+
+    blocks_.push_back(std::move(info_holder));
+    return info;
+}
+
+} // namespace el::core

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The translation drivers: cold block generation (Figure 1), hot trace
+ * selection and generation (Figure 2), block variants, and the block
+ * map. The Runtime (runtime.hh) calls into this to service translator
+ * exits.
+ */
+
+#ifndef EL_CORE_TRANSLATOR_HH
+#define EL_CORE_TRANSLATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/analysis.hh"
+#include "core/blockinfo.hh"
+#include "core/emit_env.hh"
+#include "core/options.hh"
+#include "core/sched.hh"
+#include "ipf/code_cache.hh"
+#include "mem/memory.hh"
+#include "support/stats.hh"
+
+namespace el::core
+{
+
+/** Per-cold-block misalignment history driving stage transitions. */
+struct MisalignHistory
+{
+    bool observed = false;     //!< Any misalignment in this block.
+    bool force_avoid = false;  //!< Hot regeneration must avoid everywhere.
+    uint8_t granularity = 1;   //!< Finest observed misalignment grain.
+};
+
+/** BTGeneric's translation engine. */
+class Translator
+{
+  public:
+    Translator(const Options &options, mem::Memory &memory,
+               ipf::CodeCache &cache, uint64_t rt_base);
+
+    /**
+     * Find or create a translation entry for @p eip matching @p spec.
+     * Prefers a hot version when one exists. Returns null on
+     * untranslatable code (undecodable first instruction).
+     */
+    BlockInfo *dispatch(uint32_t eip, const SpecContext &spec);
+
+    /** Cold-only dispatch used for Resync re-execution. */
+    BlockInfo *dispatchCold(uint32_t eip, const SpecContext &spec,
+                            bool fresh_variant);
+
+    /** Translate one cold block at the given misalignment stage. */
+    BlockInfo *translateCold(uint32_t eip, const SpecContext &spec,
+                             MisalignStage stage);
+
+    /**
+     * Build a hot trace rooted at @p entry_eip (the block that hit the
+     * heating threshold). Returns null if hot translation fails or is
+     * unprofitable; the cold block then remains in use.
+     */
+    BlockInfo *translateHot(uint32_t entry_eip, const SpecContext &spec);
+
+    /** Move a block to the detailed misalignment stage (cold stage 2). */
+    BlockInfo *regenerateForMisalignment(uint32_t eip,
+                                         const SpecContext &spec);
+
+    /** Record a misalignment event against the owning cold block. */
+    void recordMisalignment(uint32_t block_eip);
+
+    /** Invalidate a hot block after a stage-3 misalignment event. */
+    void discardHotBlock(BlockInfo *block);
+
+    /** Drop every translation overlapping [addr, addr+len) (SMC). */
+    void invalidateRange(uint32_t addr, uint32_t len);
+
+    BlockInfo *blockById(int32_t id);
+
+    /** Stop a cold block's use counter from re-registering (covered by
+     *  a hot trace or permanently failed hot translation). */
+    void disableHeat(BlockInfo *block);
+
+    /** Profile-counter value read from the runtime area. */
+    uint32_t readCounter(int64_t off) const;
+
+    /** Translation statistics. */
+    StatGroup stats;
+
+    /** Simulated translator cycles spent so far (charged by Runtime). */
+    double pendingOverheadCycles() const { return pending_cycles_; }
+    double
+    takePendingOverheadCycles()
+    {
+        double c = pending_cycles_;
+        pending_cycles_ = 0;
+        return c;
+    }
+
+    const Options &options;
+
+  private:
+    struct Variant
+    {
+        SpecContext spec;
+        BlockInfo *block;
+    };
+
+    /** Does @p spec satisfy the entry conditions of @p block? */
+    static bool specMatches(const BlockInfo &block, const SpecContext &spec);
+
+    /** Allocate @p bytes in the profile area; returns the offset. */
+    int64_t allocProfile(uint32_t bytes);
+
+    /** Translate the final control transfer of a block/trace. */
+    void emitBlockEnd(EmitEnv &env, const BasicBlock &bb,
+                      BlockInfo *info, bool trace_mode,
+                      int32_t loop_target_il);
+
+    /** Finish: concatenate head+body, schedule, fill BlockInfo. */
+    bool finishBlock(EmitEnv &env, BlockInfo *info, bool reorder);
+
+    /** Select the hot trace starting at @p eip. */
+    std::vector<const BasicBlock *>
+    selectTrace(const Region &region, uint32_t eip, bool *loops);
+
+    mem::Memory &mem_;
+    ipf::CodeCache &cache_;
+    uint64_t rt_base_;
+
+    std::map<uint32_t, std::vector<Variant>> cold_map_;
+    std::map<uint32_t, std::vector<Variant>> hot_map_;
+    std::map<uint32_t, MisalignHistory> misalign_;
+    std::vector<std::unique_ptr<BlockInfo>> blocks_;
+    int64_t profile_next_ = rt::profile_base;
+    double pending_cycles_ = 0;
+};
+
+} // namespace el::core
+
+#endif // EL_CORE_TRANSLATOR_HH

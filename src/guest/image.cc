@@ -1,0 +1,36 @@
+#include "guest/image.hh"
+
+#include "support/logging.hh"
+
+namespace el::guest
+{
+
+uint32_t
+load(const Image &image, mem::Memory &memory)
+{
+    for (const Section &s : image.sections) {
+        el_assert(s.size >= s.bytes.size(), "section %s: size < bytes",
+                  s.name.c_str());
+        memory.map(s.addr, s.size, s.perm);
+        if (!s.bytes.empty()) {
+            auto r = memory.writeBytes(s.addr, s.bytes.data(),
+                                       s.bytes.size());
+            // Sections may be read-only; use the privileged path then.
+            if (!r.ok()) {
+                for (size_t k = 0; k < s.bytes.size(); ++k) {
+                    auto pr = memory.writePriv(s.addr +
+                                               static_cast<uint32_t>(k),
+                                               1, s.bytes[k]);
+                    el_assert(pr.ok(), "loader: cannot write section");
+                }
+            }
+        }
+        if (s.perm & mem::PermExec)
+            memory.markCode(s.addr, s.size);
+    }
+    memory.map(Layout::stack_top - Layout::stack_size, Layout::stack_size,
+               mem::PermRW);
+    return Layout::stack_top - 64; // a small red zone below the top
+}
+
+} // namespace el::guest

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Guest program images and the loader.
+ *
+ * An Image is the IA-32 EL view of an application binary: sections of
+ * raw bytes with permissions and an entry point. The loader maps it into
+ * guest memory unchanged, "similar to their layout on the original IA-32
+ * platform" (section 2), plus a stack. Sections on writable+executable
+ * pages are the SMC-hazard case the translator guards against.
+ */
+
+#ifndef EL_GUEST_IMAGE_HH
+#define EL_GUEST_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/memory.hh"
+
+namespace el::guest
+{
+
+/** One loadable section. */
+struct Section
+{
+    std::string name;
+    uint32_t addr = 0;
+    std::vector<uint8_t> bytes; //!< May be shorter than size (bss tail).
+    uint32_t size = 0;          //!< Mapped size (>= bytes.size()).
+    mem::Perm perm = mem::PermRW;
+};
+
+/** A guest program image. */
+struct Image
+{
+    std::string name;
+    uint32_t entry = 0;
+    std::vector<Section> sections;
+
+    /** Convenience: add a code section. */
+    Section &
+    addCode(uint32_t addr, std::vector<uint8_t> bytes, bool writable = false)
+    {
+        Section s;
+        s.name = "text";
+        s.addr = addr;
+        s.size = static_cast<uint32_t>(bytes.size());
+        s.bytes = std::move(bytes);
+        s.perm = writable ? mem::PermRWX : mem::PermRX;
+        sections.push_back(std::move(s));
+        return sections.back();
+    }
+
+    /** Convenience: add a zero-filled data section. */
+    Section &
+    addData(uint32_t addr, uint32_t size)
+    {
+        Section s;
+        s.name = "data";
+        s.addr = addr;
+        s.size = size;
+        s.perm = mem::PermRW;
+        sections.push_back(std::move(s));
+        return sections.back();
+    }
+};
+
+/** Canonical guest address-space layout used by the workload suite. */
+struct Layout
+{
+    static constexpr uint32_t code_base = 0x08048000;
+    static constexpr uint32_t data_base = 0x10000000;
+    static constexpr uint32_t heap_base = 0x18000000;
+    static constexpr uint32_t stack_top = 0x30000000;
+    static constexpr uint32_t stack_size = 0x00100000;
+};
+
+/** Map an image (plus a stack) into @p memory. Returns the initial ESP. */
+uint32_t load(const Image &image, mem::Memory &memory);
+
+} // namespace el::guest
+
+#endif // EL_GUEST_IMAGE_HH

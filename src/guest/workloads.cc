@@ -1,0 +1,677 @@
+#include "guest/workloads.hh"
+
+#include "ia32/assembler.hh"
+#include "support/logging.hh"
+
+namespace el::guest
+{
+
+using btlib::OsAbi;
+using ia32::Assembler;
+using ia32::Cond;
+using ia32::Label;
+using ia32::Op;
+using namespace ia32;
+
+namespace
+{
+
+constexpr uint32_t scratch_abi = Layout::data_base + 0xff00;
+
+/** exit(eax & 0xff) under either personality. */
+void
+emitExit(Assembler &as, OsAbi abi)
+{
+    as.aluRI(Op::And, RegEax, 0xff);
+    if (abi == OsAbi::Linux) {
+        as.movRR(RegEbx, RegEax);
+        as.movRI(RegEax, btlib::linux_abi::nr_exit);
+        as.intN(btlib::linux_abi::int_vector);
+    } else {
+        as.movRI(RegEdx, scratch_abi);
+        as.movMR(memb(RegEdx, 0), RegEax);
+        as.movRI(RegEax, btlib::windows_abi::nr_terminate);
+        as.intN(btlib::windows_abi::int_vector);
+    }
+}
+
+/** kernel_work(units): spend native time in the OS. */
+void
+emitKernelWork(Assembler &as, OsAbi abi, uint32_t units)
+{
+    as.pushR(RegEax);
+    as.pushR(RegEbx);
+    as.pushR(RegEcx);
+    as.pushR(RegEdx);
+    if (abi == OsAbi::Linux) {
+        as.movRI(RegEax, btlib::linux_abi::nr_kernel_work);
+        as.movRI(RegEbx, units);
+        as.intN(btlib::linux_abi::int_vector);
+    } else {
+        as.movRI(RegEdx, scratch_abi);
+        as.movMI(memb(RegEdx, 0), units);
+        as.movRI(RegEax, btlib::windows_abi::nr_kernel_work);
+        as.intN(btlib::windows_abi::int_vector);
+    }
+    as.popR(RegEdx);
+    as.popR(RegEcx);
+    as.popR(RegEbx);
+    as.popR(RegEax);
+}
+
+void
+emitYield(Assembler &as, OsAbi abi)
+{
+    as.pushR(RegEax);
+    as.pushR(RegEbx);
+    as.pushR(RegEdx);
+    if (abi == OsAbi::Linux) {
+        as.movRI(RegEax, btlib::linux_abi::nr_yield);
+        as.intN(btlib::linux_abi::int_vector);
+    } else {
+        as.movRI(RegEdx, scratch_abi);
+        as.movRI(RegEax, btlib::windows_abi::nr_yield);
+        as.intN(btlib::windows_abi::int_vector);
+    }
+    as.popR(RegEdx);
+    as.popR(RegEbx);
+    as.popR(RegEax);
+}
+
+Workload
+finish(const std::string &name, const char *kernel, WorkloadParams p,
+       Assembler &as, uint32_t data_size)
+{
+    Workload w;
+    w.name = name;
+    w.kernel = kernel;
+    w.params = p;
+    w.image.name = name;
+    w.image.entry = as.base();
+    w.image.addCode(as.base(), as.finish());
+    w.image.addData(Layout::data_base, data_size);
+    return w;
+}
+
+} // namespace
+
+Workload
+buildStream(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    uint32_t data = Layout::data_base + p.misaligned;
+    uint32_t table = Layout::data_base + 0x40000;
+
+    // Init: buffer bytes + 256-entry lookup table.
+    as.movRI(RegEcx, p.size);
+    Label init = as.label();
+    as.bind(init);
+    as.movRR(RegEax, RegEcx);
+    as.imulRM(RegEax, memabs(Layout::data_base + 0xff80)); // zero; cheap
+    as.aluRR(Op::Add, RegEax, RegEcx);
+    as.movRI(RegEbx, data);
+    as.movMR8(membi(RegEbx, RegEcx, 1, -1), RegAl);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, init);
+    as.movRI(RegEcx, 256);
+    Label init2 = as.label();
+    as.bind(init2);
+    as.movRR(RegEax, RegEcx);
+    as.imulRR(RegEax, RegEcx);
+    as.shiftRI(Op::Shl, RegEax, 2);
+    as.aluRR(Op::Add, RegEax, RegEcx);
+    as.movRI(RegEbx, table);
+    as.movMR(membi(RegEbx, RegEcx, 4, -4), RegEax);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, init2);
+
+    // Outer loop.
+    as.movRI(RegEdi, p.outer_iters);
+    Label outer = as.label();
+    as.bind(outer);
+    as.movRI(RegEcx, p.size);
+    as.movRI(RegEbx, data);
+    as.movRI(RegEsi, table);
+    Label inner = as.label();
+    as.bind(inner);
+    as.movzxRM8(RegEdx, membi(RegEbx, RegEcx, 1, -1));
+    as.movRM(RegEdx, membi(RegEsi, RegEdx, 4, 0));
+    as.aluRR(Op::Add, RegEax, RegEdx);
+    as.shiftRI(Op::Rol, RegEax, 3);
+    as.aluRR8(Op::Xor, RegAl, RegDl);
+    as.movMR8(membi(RegEbx, RegEcx, 1, -1), RegAl);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, inner);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, outer);
+    emitExit(as, p.abi);
+    return finish(name, "stream", p, as, 0x50000);
+}
+
+Workload
+buildPointerChase(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    uint32_t data = Layout::data_base;
+    // Nodes are 8 bytes: {next:u32, val:u32}. The 32-bit layout is the
+    // point: the native 64-bit version has twice the footprint (the mcf
+    // effect in Figure 5).
+    // next[i] = &node[(i * 7919 + 1) % size]
+    as.movRI(RegEcx, p.size);
+    Label init = as.label();
+    as.bind(init);
+    as.lea(RegEax, memb(RegEcx, -1));   // i
+    as.imulRR(RegEax, RegEcx);
+    as.movRI(RegEdx, 0);
+    as.lea(RegEax, membi(RegEax, RegEcx, 8, 7919));
+    as.movRI(RegEsi, p.size);
+    as.movRI(RegEdx, 0);
+    as.divR(RegEsi);                    // edx = hash % size
+    as.shiftRI(Op::Shl, RegEdx, 3);
+    as.aluRI(Op::Add, RegEdx, data);    // node address
+    as.movRI(RegEbx, data);
+    as.lea(RegEsi, membi(RegEbx, RegEcx, 8, -8));
+    as.movMR(memb(RegEsi, 0), RegEdx);  // next
+    as.movMR(memb(RegEsi, 4), RegEcx);  // val
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, init);
+
+    as.movRI(RegEdi, p.outer_iters);
+    as.movRI(RegEdx, 0);
+    Label outer = as.label();
+    as.bind(outer);
+    as.movRI(RegEax, data);
+    as.movRI(RegEcx, p.size);
+    Label chase = as.label();
+    as.bind(chase);
+    as.aluRM(Op::Add, RegEdx, memb(RegEax, 4));
+    as.movRM(RegEax, memb(RegEax, 0));
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, chase);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, outer);
+    as.movRR(RegEax, RegEdx);
+    emitExit(as, p.abi);
+    return finish(name, "pointer_chase", p, as,
+                  p.size * 8 + 0x10000);
+}
+
+Workload
+buildBranchy(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    uint32_t table = Layout::data_base + 0x100;
+
+    Label start = as.label();
+    as.jmp(start);
+
+    // Four handler functions at recorded addresses.
+    uint32_t fn_addrs[4];
+    for (int f = 0; f < 4; ++f) {
+        while (as.pc() % 16)
+            as.nop();
+        fn_addrs[f] = as.pc();
+        as.aluRI(Op::Add, RegEax, 0x11 * (f + 1));
+        as.shiftRI(Op::Ror, RegEax, f + 1);
+        as.ret();
+    }
+
+    as.bind(start);
+    // Install the function table.
+    for (int f = 0; f < 4; ++f)
+        as.movMI(memabs(table + 4 * f), fn_addrs[f]);
+
+    as.movRI(RegEdi, p.outer_iters);
+    as.movRI(RegEax, 0x12345678);
+    Label outer = as.label();
+    as.bind(outer);
+    as.movRI(RegEcx, p.size);
+    Label inner = as.label();
+    as.bind(inner);
+    // LCG step.
+    as.movRI(RegEdx, 1103515245);
+    as.imulRR(RegEax, RegEdx);
+    as.aluRI(Op::Add, RegEax, 12345);
+    // Hard-to-predict conditional pattern.
+    as.testRI(RegEax, 0x400);
+    Label skip1 = as.label();
+    as.jcc(Cond::E, skip1);
+    as.aluRI(Op::Xor, RegEax, 0x5a5a5a5a);
+    as.bind(skip1);
+    as.testRI(RegEax, 0x10000);
+    Label skip2 = as.label();
+    as.jcc(Cond::NE, skip2);
+    as.shiftRI(Op::Rol, RegEax, 1);
+    as.bind(skip2);
+    if (p.indirect_every) {
+        // Indirect call through the table, selected by data.
+        as.movRR(RegEdx, RegEax);
+        as.shiftRI(Op::Shr, RegEdx, 8);
+        as.aluRI(Op::And, RegEdx, 3);
+        as.movRI(RegEbx, table);
+        as.movRM(RegEdx, membi(RegEbx, RegEdx, 4, 0));
+        as.callR(RegEdx);
+    }
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, inner);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, outer);
+    emitExit(as, p.abi);
+    return finish(name, "branchy", p, as, 0x10000);
+}
+
+Workload
+buildParser(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    uint32_t text = Layout::data_base;
+
+    Label start = as.label();
+    as.jmp(start);
+    // Helper: small hash of AL into EDX.
+    Label helper = as.label();
+    as.bind(helper);
+    as.movzxRR8(RegEbx, RegAl);
+    as.imulRR(RegEdx, RegEbx);
+    as.aluRI(Op::Add, RegEdx, 0x9e3779b9);
+    as.shiftRI(Op::Ror, RegEdx, 5);
+    as.ret();
+
+    as.bind(start);
+    // Fill the text buffer with pseudo characters.
+    as.movRI(RegEcx, p.size);
+    Label init = as.label();
+    as.bind(init);
+    as.movRR(RegEax, RegEcx);
+    as.imulRR(RegEax, RegEcx);
+    as.aluRI(Op::And, RegEax, 0x7f);
+    as.aluRI(Op::Add, RegEax, 1);
+    as.movRI(RegEbx, text);
+    as.movMR8(membi(RegEbx, RegEcx, 1, -1), RegAl);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, init);
+
+    as.movRI(RegEdi, p.outer_iters);
+    as.movRI(RegEdx, 1);
+    Label outer = as.label();
+    as.bind(outer);
+    as.movRI(RegEsi, text);
+    as.movRI(RegEcx, p.size);
+    Label scan = as.label();
+    as.bind(scan);
+    as.movzxRM8(RegEax, memb(RegEsi, 0));
+    as.incR(RegEsi);
+    // Classify: letters / digits / other.
+    as.aluRI8(Op::Cmp, RegAl, 0x41);
+    Label digits = as.label(), other = as.label(), next = as.label();
+    as.jcc(Cond::B, digits);
+    as.call(helper);
+    as.jmp(next);
+    as.bind(digits);
+    as.aluRI8(Op::Cmp, RegAl, 0x30);
+    as.jcc(Cond::B, other);
+    as.aluRR(Op::Add, RegEdx, RegEax);
+    as.jmp(next);
+    as.bind(other);
+    as.aluRI(Op::Xor, RegEdx, 0x55);
+    as.bind(next);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, scan);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, outer);
+    as.movRR(RegEax, RegEdx);
+    emitExit(as, p.abi);
+    return finish(name, "parser", p, as, p.size + 0x10000);
+}
+
+Workload
+buildMatrix(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    uint32_t a = Layout::data_base + p.misaligned;
+    uint32_t b = a + p.size * 4 + 64;
+    uint32_t c = b + p.size * 4 + 64;
+
+    as.movRI(RegEcx, p.size);
+    Label init = as.label();
+    as.bind(init);
+    as.movRR(RegEax, RegEcx);
+    as.imulRR(RegEax, RegEcx);
+    as.movRI(RegEbx, a);
+    as.movMR(membi(RegEbx, RegEcx, 4, -4), RegEax);
+    as.aluRI(Op::Add, RegEax, 7);
+    as.movRI(RegEbx, b);
+    as.movMR(membi(RegEbx, RegEcx, 4, -4), RegEax);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, init);
+
+    as.movRI(RegEdi, p.outer_iters);
+    Label outer = as.label();
+    as.bind(outer);
+    as.movRI(RegEcx, p.size);
+    Label inner = as.label();
+    as.bind(inner);
+    as.movRI(RegEbx, a);
+    as.movRM(RegEax, membi(RegEbx, RegEcx, 4, -4));
+    as.lea(RegEdx, membi(RegEax, RegEax, 2, 0)); // *3
+    as.movRI(RegEbx, b);
+    as.aluRM(Op::Add, RegEdx, membi(RegEbx, RegEcx, 4, -4));
+    as.testRI(RegEcx, 15);
+    Label nodiv = as.label();
+    as.jcc(Cond::NE, nodiv);
+    as.movRR(RegEax, RegEdx);
+    as.aluRI(Op::Or, RegEax, 1);
+    as.movRR(RegEsi, RegEax);
+    as.movRI(RegEdx, 0);
+    as.movRI(RegEax, 0x40000000);
+    as.divR(RegEsi);
+    as.movRR(RegEdx, RegEax);
+    as.bind(nodiv);
+    as.movRI(RegEbx, c);
+    as.movMR(membi(RegEbx, RegEcx, 4, -4), RegEdx);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, inner);
+    as.movRI(RegEbx, c);
+    as.aluRM(Op::Add, RegEax, memb(RegEbx, 0));
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, outer);
+    emitExit(as, p.abi);
+    return finish(name, "matrix", p, as, p.size * 12 + 0x10000);
+}
+
+Workload
+buildBigCode(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    // `code_copies` distinct medium blocks chained sequentially; the
+    // profile is flat, so little of it ever gets hot.
+    as.movRI(RegEdi, p.outer_iters);
+    as.movRI(RegEax, 1);
+    as.movRI(RegEsi, Layout::data_base);
+    Label outer = as.label();
+    as.bind(outer);
+    for (uint32_t cpy = 0; cpy < p.code_copies; ++cpy) {
+        as.aluRI(Op::Add, RegEax, 0x1001 + cpy);
+        as.movRR(RegEdx, RegEax);
+        as.shiftRI(Op::Shr, RegEdx, 3);
+        as.aluRR(Op::Xor, RegEax, RegEdx);
+        as.movMR(memb(RegEsi, (cpy % 1024) * 4), RegEax);
+        as.aluRM(Op::Add, RegEax, memb(RegEsi, ((cpy + 7) % 1024) * 4));
+        as.testRI(RegEax, 1 << (cpy % 13));
+        Label skip = as.label();
+        as.jcc(Cond::E, skip);
+        as.aluRI(Op::Sub, RegEax, 3);
+        as.bind(skip);
+    }
+    if (p.kernel_work_units)
+        emitKernelWork(as, p.abi, p.kernel_work_units);
+    for (uint32_t y = 0; y < p.yields; ++y)
+        emitYield(as, p.abi);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, outer);
+    emitExit(as, p.abi);
+    return finish(name, "bigcode", p, as, 0x10000);
+}
+
+Workload
+buildFpKernel(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    uint32_t a = Layout::data_base;
+    uint32_t b = a + p.size * 8 + 64;
+    uint32_t c = b + p.size * 8 + 64;
+
+    // Init doubles via fild of integers.
+    as.movRI(RegEcx, p.size);
+    Label init = as.label();
+    as.bind(init);
+    as.movRI(RegEbx, Layout::data_base + 0xff80);
+    as.movMR(memb(RegEbx, 0), RegEcx);
+    as.fildM32(memb(RegEbx, 0));
+    as.movRI(RegEdx, a);
+    as.fstM64(membi(RegEdx, RegEcx, 8, -8), false);
+    as.movRI(RegEdx, b);
+    as.fstM64(membi(RegEdx, RegEcx, 8, -8), true);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, init);
+
+    as.movRI(RegEdi, p.outer_iters);
+    Label outer = as.label();
+    as.bind(outer);
+    as.movRI(RegEcx, p.size);
+    Label inner = as.label();
+    as.bind(inner);
+    // The classic stack-top-bound expression tree with fxch traffic:
+    // out[i] = a[i]*b[i] + (a[i]+b[i])
+    as.movRI(RegEdx, a);
+    as.fldM64(membi(RegEdx, RegEcx, 8, -8));
+    as.movRI(RegEbx, b);
+    as.farithM64(Op::Fmul, membi(RegEbx, RegEcx, 8, -8));
+    as.movRI(RegEdx, a);
+    as.fldM64(membi(RegEdx, RegEcx, 8, -8));
+    as.movRI(RegEbx, b);
+    as.farithM64(Op::Fadd, membi(RegEbx, RegEcx, 8, -8));
+    as.fxch(1);
+    as.farithStiSt0(Op::Fadd, 1, true);
+    as.movRI(RegEbx, c);
+    as.fstM64(membi(RegEbx, RegEcx, 8, -8), true);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, inner);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, outer);
+    // checksum
+    as.movRI(RegEbx, c);
+    as.movRM(RegEax, memb(RegEbx, 4));
+    emitExit(as, p.abi);
+    return finish(name, "fp", p, as, p.size * 24 + 0x10000);
+}
+
+Workload
+buildSseKernel(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    uint32_t a = Layout::data_base;
+    uint32_t b = a + p.size * 16 + 64;
+    uint32_t c = b + p.size * 16 + 64;
+
+    // Init floats via cvtsi2ss + movss.
+    as.movRI(RegEcx, p.size * 4);
+    Label init = as.label();
+    as.bind(init);
+    as.cvtsi2ss(0, RegEcx);
+    as.movRI(RegEbx, a);
+    as.movssMX(membi(RegEbx, RegEcx, 4, -4), 0);
+    as.movRI(RegEbx, b);
+    as.movssMX(membi(RegEbx, RegEcx, 4, -4), 0);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, init);
+
+    as.movRI(RegEdi, p.outer_iters);
+    Label outer = as.label();
+    as.bind(outer);
+    as.movRI(RegEcx, p.size);
+    Label inner = as.label();
+    as.bind(inner);
+    as.movRR(RegEdx, RegEcx);
+    as.shiftRI(Op::Shl, RegEdx, 4);
+    as.movRI(RegEbx, a - 16);
+    as.aluRR(Op::Add, RegEbx, RegEdx);
+    as.movapsXM(0, memb(RegEbx, 0));
+    as.movRI(RegEsi, b - 16);
+    as.aluRR(Op::Add, RegEsi, RegEdx);
+    as.movapsXM(1, memb(RegEsi, 0));
+    as.sseArithXX(Op::Mulps, 0, 1);
+    as.sseArithXX(Op::Addps, 0, 1);
+    as.movRI(RegEbx, c - 16);
+    as.aluRR(Op::Add, RegEbx, RegEdx);
+    as.movapsMX(memb(RegEbx, 0), 0);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, inner);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, outer);
+    as.movRI(RegEbx, c);
+    as.movRM(RegEax, memb(RegEbx, 0));
+    emitExit(as, p.abi);
+    return finish(name, "sse", p, as, p.size * 48 + 0x10000);
+}
+
+Workload
+buildMmxKernel(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    uint32_t a = Layout::data_base;
+    uint32_t b = a + p.size * 8 + 64;
+
+    as.movRI(RegEcx, p.size * 2);
+    Label init = as.label();
+    as.bind(init);
+    as.movRR(RegEax, RegEcx);
+    as.imulRR(RegEax, RegEcx);
+    as.movRI(RegEbx, a);
+    as.movMR(membi(RegEbx, RegEcx, 4, -4), RegEax);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, init);
+
+    as.movRI(RegEdi, p.outer_iters);
+    Label outer = as.label();
+    as.bind(outer);
+    as.movRI(RegEcx, p.size);
+    Label inner = as.label();
+    as.bind(inner);
+    as.movRR(RegEdx, RegEcx);
+    as.shiftRI(Op::Shl, RegEdx, 3);
+    as.movRI(RegEbx, a - 8);
+    as.aluRR(Op::Add, RegEbx, RegEdx);
+    as.movqMmM(0, memb(RegEbx, 0));
+    as.pArithMmM(Op::Paddb, 0, memb(RegEbx, 0));
+    as.pArithMmMm(Op::Pxor, 0, 0);
+    as.pArithMmM(Op::Paddw, 0, memb(RegEbx, 0));
+    as.movRI(RegEsi, b - 8);
+    as.aluRR(Op::Add, RegEsi, RegEdx);
+    as.movqMMm(memb(RegEsi, 0), 0);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, inner);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, outer);
+    as.emms();
+    as.movRI(RegEbx, b);
+    as.movRM(RegEax, memb(RegEbx, 0));
+    emitExit(as, p.abi);
+    return finish(name, "mmx", p, as, p.size * 16 + 0x10000);
+}
+
+Workload
+buildOfficeApp(const std::string &name, WorkloadParams p)
+{
+    return buildBigCode(name, p);
+}
+
+std::vector<Workload>
+specIntSuite(OsAbi abi)
+{
+    std::vector<Workload> suite;
+    auto P = [abi](uint32_t outer, uint32_t size) {
+        WorkloadParams p;
+        p.outer_iters = outer;
+        p.size = size;
+        p.abi = abi;
+        return p;
+    };
+
+    {
+        WorkloadParams p = P(60, 24000);
+        suite.push_back(buildStream("gzip", p));
+    }
+    {
+        WorkloadParams p = P(50, 12000);
+        suite.push_back(buildMatrix("vpr", p));
+    }
+    {
+        WorkloadParams p = P(3600, 0);
+        p.code_copies = 300;
+        suite.push_back(buildBigCode("gcc", p));
+    }
+    {
+        WorkloadParams p = P(10, 160000); // 1.25MB guest / 2.5MB native
+        suite.push_back(buildPointerChase("mcf", p));
+    }
+    {
+        WorkloadParams p = P(40, 9000);
+        p.indirect_every = 1;
+        suite.push_back(buildBranchy("crafty", p));
+    }
+    {
+        WorkloadParams p = P(60, 20000);
+        suite.push_back(buildParser("parser", p));
+    }
+    {
+        WorkloadParams p = P(36, 8000);
+        p.indirect_every = 1;
+        suite.push_back(buildBranchy("eon", p));
+    }
+    {
+        WorkloadParams p = P(40, 16000);
+        suite.push_back(buildParser("perlbmk", p));
+    }
+    {
+        WorkloadParams p = P(40, 10000);
+        suite.push_back(buildMatrix("gap", p));
+    }
+    {
+        WorkloadParams p = P(4200, 0);
+        p.code_copies = 240;
+        suite.push_back(buildBigCode("vortex", p));
+    }
+    {
+        WorkloadParams p = P(50, 28000);
+        suite.push_back(buildStream("bzip2", p));
+    }
+    {
+        WorkloadParams p = P(55, 11000);
+        suite.push_back(buildMatrix("twolf", p));
+    }
+    return suite;
+}
+
+std::vector<Workload>
+specFpSuite(OsAbi abi)
+{
+    std::vector<Workload> suite;
+    WorkloadParams p;
+    p.abi = abi;
+    p.outer_iters = 40;
+    p.size = 6000;
+    suite.push_back(buildFpKernel("wupwise", p));
+    p.outer_iters = 60;
+    p.size = 4000;
+    suite.push_back(buildSseKernel("swim", p));
+    p.outer_iters = 40;
+    p.size = 5000;
+    suite.push_back(buildFpKernel("applu", p));
+    p.outer_iters = 80;
+    p.size = 4000;
+    suite.push_back(buildMmxKernel("art", p));
+    return suite;
+}
+
+std::vector<Workload>
+sysmarkSuite(OsAbi abi)
+{
+    std::vector<Workload> suite;
+    auto app = [abi](const char *name, uint32_t outer, uint32_t copies,
+                     uint32_t kernel_units, uint32_t yields) {
+        WorkloadParams p;
+        p.abi = abi;
+        p.outer_iters = outer;
+        p.code_copies = copies;
+        p.kernel_work_units = kernel_units;
+        p.yields = yields;
+        return buildOfficeApp(name, p);
+    };
+    suite.push_back(app("wordproc", 4000, 300, 1, 1));
+    suite.push_back(app("spreadsheet", 4600, 260, 1, 1));
+    suite.push_back(app("browser", 3000, 380, 2, 2));
+    return suite;
+}
+
+} // namespace el::guest

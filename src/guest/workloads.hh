@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The synthetic benchmark suite.
+ *
+ * Stand-ins for the binaries the paper measured (SPEC CPU2000 compiled
+ * with the Intel compiler, and Sysmark 2002): each personality is a
+ * kernel whose *structural* properties — branch predictability, indirect
+ * branch density, code footprint, data footprint, FP/SSE/MMX content,
+ * misaligned access density, kernel/idle time — are chosen to match the
+ * published profile of the benchmark it stands for. DESIGN.md documents
+ * the substitution.
+ *
+ * All builders emit genuine IA-32 machine code through the assembler and
+ * end with the exit system call of the selected OS personality.
+ */
+
+#ifndef EL_GUEST_WORKLOADS_HH
+#define EL_GUEST_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btlib/abi.hh"
+#include "guest/image.hh"
+
+namespace el::guest
+{
+
+/** Structural knobs of a workload kernel. */
+struct WorkloadParams
+{
+    uint32_t outer_iters = 200;     //!< Outer repetitions.
+    uint32_t size = 4096;           //!< Working-set elements.
+    uint32_t code_copies = 1;       //!< Distinct code replicas (footprint).
+    uint32_t indirect_every = 0;    //!< 0 = none; else indirect call rate.
+    uint32_t misaligned = 0;        //!< Byte offset applied to data base.
+    uint32_t kernel_work_units = 0; //!< Native kernel-time syscalls.
+    uint32_t yields = 0;            //!< Idle syscalls per outer iteration.
+    btlib::OsAbi abi = btlib::OsAbi::Linux;
+};
+
+/** A named guest program plus the parameters it was built with. */
+struct Workload
+{
+    std::string name;
+    std::string kernel;  //!< Underlying kernel class.
+    WorkloadParams params;
+    Image image;
+};
+
+// ----- kernel classes ---------------------------------------------------
+
+/** Byte/word stream processing with a lookup table (gzip/bzip2-like). */
+Workload buildStream(const std::string &name, WorkloadParams p);
+
+/** Linked-list pointer chasing (mcf-like; 32-bit nodes). */
+Workload buildPointerChase(const std::string &name, WorkloadParams p);
+
+/** Data-dependent branches + indirect calls (crafty/eon-like). */
+Workload buildBranchy(const std::string &name, WorkloadParams p);
+
+/** String scanning with helper calls (parser/perlbmk-like). */
+Workload buildParser(const std::string &name, WorkloadParams p);
+
+/** Integer array arithmetic with mul/div (vpr/twolf/gap-like). */
+Workload buildMatrix(const std::string &name, WorkloadParams p);
+
+/** Large flat code footprint (gcc/vortex-like). */
+Workload buildBigCode(const std::string &name, WorkloadParams p);
+
+/** x87 FP kernel (daxpy-style with fxch-rich expression trees). */
+Workload buildFpKernel(const std::string &name, WorkloadParams p);
+
+/** SSE packed-single kernel. */
+Workload buildSseKernel(const std::string &name, WorkloadParams p);
+
+/** MMX packed-integer kernel. */
+Workload buildMmxKernel(const std::string &name, WorkloadParams p);
+
+/** Sysmark-like application: big code + kernel time + idle. */
+Workload buildOfficeApp(const std::string &name, WorkloadParams p);
+
+// ----- suites ------------------------------------------------------------
+
+/** The 12 SPEC CPU2000 INT stand-ins, in Figure 5 order. */
+std::vector<Workload> specIntSuite(btlib::OsAbi abi = btlib::OsAbi::Linux);
+
+/** The FP suite (x87 + SSE mix) for Figure 8's CPU2000 FP bar. */
+std::vector<Workload> specFpSuite(btlib::OsAbi abi = btlib::OsAbi::Linux);
+
+/** The Sysmark-like application set (Figure 7 / Figure 8). */
+std::vector<Workload> sysmarkSuite(btlib::OsAbi abi = btlib::OsAbi::Windows);
+
+} // namespace el::guest
+
+#endif // EL_GUEST_WORKLOADS_HH

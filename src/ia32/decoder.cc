@@ -1,0 +1,1075 @@
+#include "ia32/decoder.hh"
+
+#include "support/bitfield.hh"
+#include "support/logging.hh"
+
+namespace el::ia32
+{
+
+namespace
+{
+
+/** Byte cursor over the instruction buffer. */
+struct Cursor
+{
+    const uint8_t *buf;
+    unsigned len;
+    unsigned pos = 0;
+    bool fail = false;
+
+    uint8_t
+    u8()
+    {
+        if (pos >= len) {
+            fail = true;
+            return 0;
+        }
+        return buf[pos++];
+    }
+
+    uint16_t
+    u16()
+    {
+        uint16_t lo = u8();
+        uint16_t hi = u8();
+        return static_cast<uint16_t>(lo | (hi << 8));
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    int32_t s8() { return static_cast<int8_t>(u8()); }
+    int32_t s32() { return static_cast<int32_t>(u32()); }
+};
+
+/** Decoded ModRM byte plus the resolved r/m operand. */
+struct ModRm
+{
+    uint8_t mod = 0;
+    uint8_t reg = 0; //!< The /r (or group selector) field.
+    Operand rm;      //!< Register or memory operand.
+};
+
+/**
+ * Parse ModRM (+SIB, +disp) with 32-bit addressing. @p rm_kind selects
+ * how a mod==3 r/m field is interpreted (Gpr, Gpr8, Mm, Xmm).
+ */
+ModRm
+parseModRm(Cursor &cur, OperandKind rm_kind)
+{
+    ModRm out;
+    uint8_t modrm = cur.u8();
+    out.mod = modrm >> 6;
+    out.reg = (modrm >> 3) & 7;
+    uint8_t rm = modrm & 7;
+
+    if (out.mod == 3) {
+        out.rm.kind = rm_kind;
+        out.rm.reg = rm;
+        return out;
+    }
+
+    MemRef m;
+    if (rm == 4) {
+        uint8_t sib = cur.u8();
+        uint8_t ss = sib >> 6;
+        uint8_t index = (sib >> 3) & 7;
+        uint8_t base = sib & 7;
+        if (index != 4) {
+            m.has_index = true;
+            m.index = static_cast<Reg>(index);
+            m.scale = static_cast<uint8_t>(1u << ss);
+        }
+        if (base == 5 && out.mod == 0) {
+            m.disp = cur.s32();
+        } else {
+            m.has_base = true;
+            m.base = static_cast<Reg>(base);
+        }
+    } else if (rm == 5 && out.mod == 0) {
+        m.disp = cur.s32();
+    } else {
+        m.has_base = true;
+        m.base = static_cast<Reg>(rm);
+    }
+
+    if (out.mod == 1)
+        m.disp += cur.s8();
+    else if (out.mod == 2)
+        m.disp += cur.s32();
+
+    out.rm = Operand::makeMem(m);
+    return out;
+}
+
+/** ALU opcode for the 0x00-0x3D pattern's /op field. */
+Op
+aluOp(unsigned idx)
+{
+    static const Op ops[8] = {Op::Add, Op::Or, Op::Adc, Op::Sbb,
+                              Op::And, Op::Sub, Op::Xor, Op::Cmp};
+    return ops[idx & 7];
+}
+
+/** Shift opcode for the 0xC0/0xD0 group's /op field (or Invalid). */
+Op
+shiftOp(unsigned idx)
+{
+    switch (idx & 7) {
+      case 0:
+        return Op::Rol;
+      case 1:
+        return Op::Ror;
+      case 4:
+      case 6:
+        return Op::Shl;
+      case 5:
+        return Op::Shr;
+      case 7:
+        return Op::Sar;
+      default:
+        return Op::Invalid;
+    }
+}
+
+Operand
+gprOp(unsigned reg, unsigned size)
+{
+    if (size == 1)
+        return Operand::makeGpr8(static_cast<uint8_t>(reg & 7));
+    return Operand::makeGpr(static_cast<Reg>(reg & 7));
+}
+
+/** x87 escape bytes D8..DF. Returns false on unsupported pattern. */
+bool
+decodeX87(Cursor &cur, uint8_t opcode, Insn &insn)
+{
+    // Peek the ModRM byte to distinguish register forms (mod == 3).
+    if (cur.pos >= cur.len) {
+        cur.fail = true;
+        return false;
+    }
+    uint8_t modrm = cur.buf[cur.pos];
+    bool reg_form = (modrm >> 6) == 3;
+
+    if (!reg_form) {
+        ModRm mrm = parseModRm(cur, OperandKind::St);
+        unsigned sel = mrm.reg;
+        switch (opcode) {
+          case 0xd8: // fp arith with m32
+          case 0xdc: // fp arith with m64
+            insn.op_size = (opcode == 0xd8) ? 4 : 8;
+            switch (sel) {
+              case 0:
+                insn.op = Op::Fadd;
+                break;
+              case 1:
+                insn.op = Op::Fmul;
+                break;
+              case 4:
+                insn.op = Op::Fsub;
+                break;
+              case 5:
+                insn.op = Op::Fsubr;
+                break;
+              case 6:
+                insn.op = Op::Fdiv;
+                break;
+              case 7:
+                insn.op = Op::Fdivr;
+                break;
+              default:
+                return false;
+            }
+            insn.dst = Operand::makeSt(0);
+            insn.src = mrm.rm;
+            return true;
+          case 0xd9: // fld/fst/fstp m32
+            insn.op_size = 4;
+            if (sel == 0) {
+                insn.op = Op::Fld;
+                insn.src = mrm.rm;
+            } else if (sel == 2 || sel == 3) {
+                insn.op = Op::Fst;
+                insn.fp_pop = (sel == 3);
+                insn.dst = mrm.rm;
+            } else {
+                return false;
+            }
+            return true;
+          case 0xdb: // fild/fistp m32
+            insn.op_size = 4;
+            if (sel == 0) {
+                insn.op = Op::Fild;
+                insn.src = mrm.rm;
+            } else if (sel == 3) {
+                insn.op = Op::Fistp;
+                insn.fp_pop = true;
+                insn.dst = mrm.rm;
+            } else {
+                return false;
+            }
+            return true;
+          case 0xdd: // fld/fst/fstp m64
+            insn.op_size = 8;
+            if (sel == 0) {
+                insn.op = Op::Fld;
+                insn.src = mrm.rm;
+            } else if (sel == 2 || sel == 3) {
+                insn.op = Op::Fst;
+                insn.fp_pop = (sel == 3);
+                insn.dst = mrm.rm;
+            } else {
+                return false;
+            }
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    // Register forms: consume the ModRM byte.
+    cur.u8();
+    uint8_t sti = modrm & 7;
+    uint8_t group = modrm & 0xf8;
+    switch (opcode) {
+      case 0xd8:
+        insn.dst = Operand::makeSt(0);
+        insn.src = Operand::makeSt(sti);
+        switch (group) {
+          case 0xc0:
+            insn.op = Op::Fadd;
+            return true;
+          case 0xc8:
+            insn.op = Op::Fmul;
+            return true;
+          case 0xe0:
+            insn.op = Op::Fsub;
+            return true;
+          case 0xe8:
+            insn.op = Op::Fsubr;
+            return true;
+          case 0xf0:
+            insn.op = Op::Fdiv;
+            return true;
+          case 0xf8:
+            insn.op = Op::Fdivr;
+            return true;
+          default:
+            return false;
+        }
+      case 0xd9:
+        if (group == 0xc0) {
+            insn.op = Op::Fld;
+            insn.src = Operand::makeSt(sti);
+            return true;
+        }
+        if (group == 0xc8) {
+            insn.op = Op::Fxch;
+            insn.dst = Operand::makeSt(sti);
+            return true;
+        }
+        switch (modrm) {
+          case 0xe0:
+            insn.op = Op::Fchs;
+            return true;
+          case 0xe1:
+            insn.op = Op::Fabs;
+            return true;
+          case 0xe8:
+            insn.op = Op::Fld1;
+            return true;
+          case 0xee:
+            insn.op = Op::Fldz;
+            return true;
+          case 0xfa:
+            insn.op = Op::Fsqrt;
+            return true;
+          default:
+            return false;
+        }
+      case 0xdb:
+        if (group == 0xf0) {
+            insn.op = Op::Fcomi;
+            insn.dst = Operand::makeSt(0);
+            insn.src = Operand::makeSt(sti);
+            return true;
+        }
+        if (modrm == 0xe3) {
+            insn.op = Op::Fninit;
+            return true;
+        }
+        return false;
+      case 0xdc:
+        insn.dst = Operand::makeSt(sti);
+        insn.src = Operand::makeSt(0);
+        switch (group) {
+          case 0xc0:
+            insn.op = Op::Fadd;
+            return true;
+          case 0xc8:
+            insn.op = Op::Fmul;
+            return true;
+          case 0xe0:
+            insn.op = Op::Fsubr;
+            return true;
+          case 0xe8:
+            insn.op = Op::Fsub;
+            return true;
+          case 0xf0:
+            insn.op = Op::Fdivr;
+            return true;
+          case 0xf8:
+            insn.op = Op::Fdiv;
+            return true;
+          default:
+            return false;
+        }
+      case 0xdd:
+        if (group == 0xd0 || group == 0xd8) {
+            insn.op = Op::Fst;
+            insn.fp_pop = (group == 0xd8);
+            insn.dst = Operand::makeSt(sti);
+            return true;
+        }
+        return false;
+      case 0xde:
+        insn.dst = Operand::makeSt(sti);
+        insn.src = Operand::makeSt(0);
+        insn.fp_pop = true;
+        switch (group) {
+          case 0xc0:
+            insn.op = Op::Fadd;
+            return true;
+          case 0xc8:
+            insn.op = Op::Fmul;
+            return true;
+          case 0xe0:
+            insn.op = Op::Fsubr;
+            return true;
+          case 0xe8:
+            insn.op = Op::Fsub;
+            return true;
+          case 0xf0:
+            insn.op = Op::Fdivr;
+            return true;
+          case 0xf8:
+            insn.op = Op::Fdiv;
+            return true;
+          default:
+            return false;
+        }
+      case 0xdf:
+        if (modrm == 0xe0) {
+            insn.op = Op::Fnstsw;
+            insn.dst = Operand::makeGpr(RegEax);
+            insn.op_size = 2;
+            return true;
+        }
+        if (group == 0xf0) {
+            insn.op = Op::Fcomi;
+            insn.fp_pop = true;
+            insn.dst = Operand::makeSt(0);
+            insn.src = Operand::makeSt(sti);
+            return true;
+        }
+        return false;
+      default:
+        return false;
+    }
+}
+
+/** Two-byte (0F xx) opcodes. @p sse_prefix: 0, 0x66, 0xF2 or 0xF3. */
+bool
+decodeTwoByte(Cursor &cur, Insn &insn, uint8_t sse_prefix, unsigned op_size,
+              uint32_t addr)
+{
+    uint8_t opcode = cur.u8();
+
+    // Jcc rel32.
+    if (opcode >= 0x80 && opcode <= 0x8f) {
+        insn.op = Op::Jcc;
+        insn.cond = static_cast<Cond>(opcode & 0xf);
+        int32_t rel = cur.s32();
+        insn.src = Operand::makeImm(0);
+        insn.dst.kind = OperandKind::None;
+        // Target resolved by the caller once the length is known.
+        insn.imm_rel = rel;
+        return true;
+    }
+    // SETcc r/m8.
+    if (opcode >= 0x90 && opcode <= 0x9f) {
+        insn.op = Op::Setcc;
+        insn.cond = static_cast<Cond>(opcode & 0xf);
+        insn.op_size = 1;
+        ModRm mrm = parseModRm(cur, OperandKind::Gpr8);
+        insn.dst = mrm.rm;
+        return true;
+    }
+    // CMOVcc r32, r/m32.
+    if (opcode >= 0x40 && opcode <= 0x4f) {
+        insn.op = Op::Cmovcc;
+        insn.cond = static_cast<Cond>(opcode & 0xf);
+        insn.op_size = op_size;
+        ModRm mrm = parseModRm(cur, OperandKind::Gpr);
+        insn.dst = gprOp(mrm.reg, op_size);
+        insn.src = mrm.rm;
+        return true;
+    }
+
+    switch (opcode) {
+      case 0x0b:
+        insn.op = Op::Ud2;
+        return true;
+      case 0x1f: { // multi-byte NOP
+        parseModRm(cur, OperandKind::Gpr);
+        insn.op = Op::Nop;
+        return true;
+      }
+      case 0xaf: {
+        insn.op = Op::Imul2;
+        ModRm mrm = parseModRm(cur, OperandKind::Gpr);
+        insn.dst = gprOp(mrm.reg, op_size);
+        insn.src = mrm.rm;
+        insn.op_size = op_size;
+        return true;
+      }
+      case 0xb6:
+      case 0xb7:
+      case 0xbe:
+      case 0xbf: {
+        insn.op = (opcode < 0xbe) ? Op::Movzx : Op::Movsx;
+        bool src8 = !(opcode & 1);
+        ModRm mrm = parseModRm(cur, src8 ? OperandKind::Gpr8
+                                         : OperandKind::Gpr);
+        insn.dst = gprOp(mrm.reg, 4);
+        insn.src = mrm.rm;
+        insn.op_size = src8 ? 1 : 2; //!< Source width.
+        return true;
+      }
+      default:
+        break;
+    }
+
+    // MMX / SSE territory.
+    auto xmmOrMem = [&](ModRm &mrm) {
+        return mrm.rm;
+    };
+
+    switch (opcode) {
+      case 0x10:
+      case 0x11: { // movups / movss / movsd
+        OperandKind k = OperandKind::Xmm;
+        ModRm mrm = parseModRm(cur, k);
+        Operand reg = Operand::makeXmm(mrm.reg);
+        Operand rm = xmmOrMem(mrm);
+        if (sse_prefix == 0xf3)
+            insn.op = Op::Movss;
+        else if (sse_prefix == 0xf2)
+            insn.op = Op::MovsdX;
+        else
+            insn.op = Op::Movups;
+        if (opcode == 0x10) {
+            insn.dst = reg;
+            insn.src = rm;
+        } else {
+            insn.dst = rm;
+            insn.src = reg;
+        }
+        return true;
+      }
+      case 0x28:
+      case 0x29: { // movaps
+        if (sse_prefix != 0)
+            return false;
+        ModRm mrm = parseModRm(cur, OperandKind::Xmm);
+        Operand reg = Operand::makeXmm(mrm.reg);
+        Operand rm = xmmOrMem(mrm);
+        insn.op = Op::Movaps;
+        if (opcode == 0x28) {
+            insn.dst = reg;
+            insn.src = rm;
+        } else {
+            insn.dst = rm;
+            insn.src = reg;
+        }
+        return true;
+      }
+      case 0x2a: { // cvtsi2ss xmm, r/m32 (F3)
+        if (sse_prefix != 0xf3)
+            return false;
+        ModRm mrm = parseModRm(cur, OperandKind::Gpr);
+        insn.op = Op::Cvtsi2ss;
+        insn.dst = Operand::makeXmm(mrm.reg);
+        insn.src = mrm.rm;
+        return true;
+      }
+      case 0x2c: { // cvttss2si r32, xmm/m32 (F3)
+        if (sse_prefix != 0xf3)
+            return false;
+        ModRm mrm = parseModRm(cur, OperandKind::Xmm);
+        insn.op = Op::Cvttss2si;
+        insn.dst = gprOp(mrm.reg, 4);
+        insn.src = mrm.rm;
+        return true;
+      }
+      case 0x2e: { // ucomiss xmm, xmm/m32
+        if (sse_prefix != 0)
+            return false;
+        ModRm mrm = parseModRm(cur, OperandKind::Xmm);
+        insn.op = Op::Ucomiss;
+        insn.dst = Operand::makeXmm(mrm.reg);
+        insn.src = mrm.rm;
+        return true;
+      }
+      case 0x51:
+      case 0x54:
+      case 0x57:
+      case 0x58:
+      case 0x59:
+      case 0x5a:
+      case 0x5c:
+      case 0x5e: { // packed/scalar FP arithmetic
+        ModRm mrm = parseModRm(cur, OperandKind::Xmm);
+        insn.dst = Operand::makeXmm(mrm.reg);
+        insn.src = xmmOrMem(mrm);
+        switch (opcode) {
+          case 0x51:
+            if (sse_prefix != 0xf3)
+                return false;
+            insn.op = Op::Sqrtss;
+            return true;
+          case 0x54:
+            if (sse_prefix != 0)
+                return false;
+            insn.op = Op::Andps;
+            return true;
+          case 0x57:
+            if (sse_prefix != 0)
+                return false;
+            insn.op = Op::Xorps;
+            return true;
+          case 0x58:
+            insn.op = sse_prefix == 0 ? Op::Addps
+                    : sse_prefix == 0xf3 ? Op::Addss
+                    : sse_prefix == 0x66 ? Op::Addpd
+                    : Op::Addsd;
+            return true;
+          case 0x59:
+            insn.op = sse_prefix == 0 ? Op::Mulps
+                    : sse_prefix == 0xf3 ? Op::Mulss
+                    : sse_prefix == 0x66 ? Op::Mulpd
+                    : Op::Mulsd;
+            return true;
+          case 0x5a:
+            if (sse_prefix == 0)
+                insn.op = Op::Cvtps2pd;
+            else if (sse_prefix == 0x66)
+                insn.op = Op::Cvtpd2ps;
+            else
+                return false;
+            return true;
+          case 0x5c:
+            insn.op = sse_prefix == 0 ? Op::Subps
+                    : sse_prefix == 0xf3 ? Op::Subss
+                    : sse_prefix == 0x66 ? Op::Subpd
+                    : Op::Invalid;
+            return insn.op != Op::Invalid;
+          case 0x5e:
+            insn.op = sse_prefix == 0 ? Op::Divps
+                    : sse_prefix == 0xf3 ? Op::Divss
+                    : Op::Invalid;
+            return insn.op != Op::Invalid;
+        }
+        return false;
+      }
+      case 0x6e: { // movd mm, r/m32
+        if (sse_prefix != 0)
+            return false;
+        ModRm mrm = parseModRm(cur, OperandKind::Gpr);
+        insn.op = Op::Movd;
+        insn.dst = Operand::makeMm(mrm.reg);
+        insn.src = mrm.rm;
+        return true;
+      }
+      case 0x7e: { // movd r/m32, mm
+        if (sse_prefix != 0)
+            return false;
+        ModRm mrm = parseModRm(cur, OperandKind::Gpr);
+        insn.op = Op::Movd;
+        insn.dst = mrm.rm;
+        insn.src = Operand::makeMm(mrm.reg);
+        return true;
+      }
+      case 0x6f:
+      case 0x7f: { // movq mm / movdqa xmm
+        bool is_xmm = (sse_prefix == 0x66);
+        ModRm mrm = parseModRm(cur, is_xmm ? OperandKind::Xmm
+                                           : OperandKind::Mm);
+        Operand reg = is_xmm ? Operand::makeXmm(mrm.reg)
+                             : Operand::makeMm(mrm.reg);
+        insn.op = is_xmm ? Op::Movdqa : Op::MovqMm;
+        if (opcode == 0x6f) {
+            insn.dst = reg;
+            insn.src = mrm.rm;
+        } else {
+            insn.dst = mrm.rm;
+            insn.src = reg;
+        }
+        return true;
+      }
+      case 0x77:
+        if (sse_prefix != 0)
+            return false;
+        insn.op = Op::Emms;
+        return true;
+      case 0xd5:
+      case 0xdb:
+      case 0xeb:
+      case 0xef:
+      case 0xf8:
+      case 0xf9:
+      case 0xfa:
+      case 0xfc:
+      case 0xfd:
+      case 0xfe: { // packed integer ops
+        bool is_xmm = (sse_prefix == 0x66);
+        if (is_xmm && opcode != 0xfe)
+            return false; // only PADDD is supported in the XMM domain
+        if (!is_xmm && sse_prefix != 0)
+            return false;
+        ModRm mrm = parseModRm(cur, is_xmm ? OperandKind::Xmm
+                                           : OperandKind::Mm);
+        insn.dst = is_xmm ? Operand::makeXmm(mrm.reg)
+                          : Operand::makeMm(mrm.reg);
+        insn.src = mrm.rm;
+        switch (opcode) {
+          case 0xd5:
+            insn.op = Op::Pmullw;
+            return true;
+          case 0xdb:
+            insn.op = Op::Pand;
+            return true;
+          case 0xeb:
+            insn.op = Op::Por;
+            return true;
+          case 0xef:
+            insn.op = Op::Pxor;
+            return true;
+          case 0xf8:
+            insn.op = Op::Psubb;
+            return true;
+          case 0xf9:
+            insn.op = Op::Psubw;
+            return true;
+          case 0xfa:
+            insn.op = Op::Psubd;
+            return true;
+          case 0xfc:
+            insn.op = Op::Paddb;
+            return true;
+          case 0xfd:
+            insn.op = Op::Paddw;
+            return true;
+          case 0xfe:
+            insn.op = is_xmm ? Op::PadddX : Op::Paddd;
+            return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+decode(const uint8_t *buf, unsigned len, uint32_t addr, Insn *out)
+{
+    Cursor cur{buf, len};
+    Insn insn;
+    insn.addr = addr;
+
+    // Prefixes.
+    unsigned op_size = 4;
+    uint8_t sse_prefix = 0;
+    bool rep = false;
+    for (;;) {
+        if (cur.pos >= cur.len || cur.pos >= max_insn_bytes)
+            break;
+        uint8_t b = buf[cur.pos];
+        if (b == 0x66) {
+            op_size = 2;
+            sse_prefix = 0x66;
+            ++cur.pos;
+        } else if (b == 0xf3 || b == 0xf2) {
+            rep = (b == 0xf3);
+            sse_prefix = b;
+            ++cur.pos;
+        } else {
+            break;
+        }
+    }
+
+    uint8_t opcode = cur.u8();
+    bool ok = true;
+    insn.op_size = op_size;
+    insn.imm_rel = 0;
+
+    auto finish_rel_branch = [&](Op op) {
+        insn.op = op;
+    };
+
+    if (opcode < 0x40 && (opcode & 7) <= 5) {
+        // Classic ALU block.
+        Op op = aluOp(opcode >> 3);
+        unsigned form = opcode & 7;
+        switch (form) {
+          case 0:
+          case 1:
+          case 2:
+          case 3: {
+            unsigned sz = (form & 1) ? op_size : 1;
+            ModRm mrm = parseModRm(cur, sz == 1 ? OperandKind::Gpr8
+                                                : OperandKind::Gpr);
+            Operand reg = gprOp(mrm.reg, sz);
+            insn.op = op;
+            insn.op_size = sz;
+            if (form < 2) {
+                insn.dst = mrm.rm;
+                insn.src = reg;
+            } else {
+                insn.dst = reg;
+                insn.src = mrm.rm;
+            }
+            break;
+          }
+          case 4:
+            insn.op = op;
+            insn.op_size = 1;
+            insn.dst = Operand::makeGpr8(RegAl);
+            insn.src = Operand::makeImm(cur.u8());
+            break;
+          case 5:
+            insn.op = op;
+            insn.dst = gprOp(RegEax, op_size);
+            insn.src = Operand::makeImm(op_size == 2
+                                            ? cur.u16()
+                                            : cur.u32());
+            break;
+        }
+    } else if (opcode >= 0x40 && opcode <= 0x4f) {
+        insn.op = opcode < 0x48 ? Op::Inc : Op::Dec;
+        insn.dst = gprOp(opcode & 7, op_size);
+    } else if (opcode >= 0x50 && opcode <= 0x5f) {
+        insn.op = opcode < 0x58 ? Op::Push : Op::Pop;
+        insn.dst = gprOp(opcode & 7, 4);
+        insn.op_size = 4;
+    } else if (opcode == 0x68) {
+        insn.op = Op::Push;
+        insn.dst = Operand::makeImm(cur.s32());
+        insn.op_size = 4;
+    } else if (opcode == 0x6a) {
+        insn.op = Op::Push;
+        insn.dst = Operand::makeImm(cur.s8());
+        insn.op_size = 4;
+    } else if (opcode >= 0x70 && opcode <= 0x7f) {
+        insn.op = Op::Jcc;
+        insn.cond = static_cast<Cond>(opcode & 0xf);
+        insn.imm_rel = cur.s8();
+        finish_rel_branch(Op::Jcc);
+    } else if (opcode == 0x80 || opcode == 0x81 || opcode == 0x83) {
+        unsigned sz = opcode == 0x80 ? 1 : op_size;
+        ModRm mrm = parseModRm(cur, sz == 1 ? OperandKind::Gpr8
+                                            : OperandKind::Gpr);
+        insn.op = aluOp(mrm.reg);
+        insn.op_size = sz;
+        insn.dst = mrm.rm;
+        int64_t imm;
+        if (opcode == 0x80)
+            imm = cur.u8();
+        else if (opcode == 0x83)
+            imm = cur.s8();
+        else
+            imm = sz == 2 ? cur.u16() : cur.u32();
+        insn.src = Operand::makeImm(imm);
+    } else if (opcode == 0x84 || opcode == 0x85) {
+        unsigned sz = opcode == 0x84 ? 1 : op_size;
+        ModRm mrm = parseModRm(cur, sz == 1 ? OperandKind::Gpr8
+                                            : OperandKind::Gpr);
+        insn.op = Op::Test;
+        insn.op_size = sz;
+        insn.dst = mrm.rm;
+        insn.src = gprOp(mrm.reg, sz);
+    } else if (opcode == 0x86 || opcode == 0x87) {
+        unsigned sz = opcode == 0x86 ? 1 : op_size;
+        ModRm mrm = parseModRm(cur, sz == 1 ? OperandKind::Gpr8
+                                            : OperandKind::Gpr);
+        insn.op = Op::Xchg;
+        insn.op_size = sz;
+        insn.dst = mrm.rm;
+        insn.src = gprOp(mrm.reg, sz);
+    } else if (opcode >= 0x88 && opcode <= 0x8b) {
+        unsigned sz = (opcode & 1) ? op_size : 1;
+        ModRm mrm = parseModRm(cur, sz == 1 ? OperandKind::Gpr8
+                                            : OperandKind::Gpr);
+        Operand reg = gprOp(mrm.reg, sz);
+        insn.op = Op::Mov;
+        insn.op_size = sz;
+        if (opcode < 0x8a) {
+            insn.dst = mrm.rm;
+            insn.src = reg;
+        } else {
+            insn.dst = reg;
+            insn.src = mrm.rm;
+        }
+    } else if (opcode == 0x8d) {
+        ModRm mrm = parseModRm(cur, OperandKind::Gpr);
+        if (!mrm.rm.isMem())
+            ok = false;
+        insn.op = Op::Lea;
+        insn.dst = gprOp(mrm.reg, op_size);
+        insn.src = mrm.rm;
+    } else if (opcode == 0x8f) {
+        ModRm mrm = parseModRm(cur, OperandKind::Gpr);
+        if (mrm.reg != 0)
+            ok = false;
+        insn.op = Op::Pop;
+        insn.dst = mrm.rm;
+        insn.op_size = 4;
+    } else if (opcode == 0x90) {
+        insn.op = Op::Nop;
+    } else if (opcode == 0x99) {
+        insn.op = Op::Cdq;
+    } else if (opcode == 0x9e) {
+        insn.op = Op::Sahf;
+    } else if (opcode == 0x9f) {
+        insn.op = Op::Lahf;
+    } else if (opcode >= 0xa4 && opcode <= 0xad) {
+        unsigned sz = (opcode & 1) ? op_size : 1;
+        insn.op_size = sz;
+        insn.rep = rep;
+        switch (opcode & ~1) {
+          case 0xa4:
+            insn.op = Op::Movs;
+            break;
+          case 0xaa:
+            insn.op = Op::Stos;
+            break;
+          case 0xac:
+            insn.op = Op::Lods;
+            break;
+          default:
+            ok = false;
+        }
+    } else if (opcode == 0xa8 || opcode == 0xa9) {
+        unsigned sz = opcode == 0xa8 ? 1 : op_size;
+        insn.op = Op::Test;
+        insn.op_size = sz;
+        insn.dst = sz == 1 ? Operand::makeGpr8(RegAl) : gprOp(RegEax, sz);
+        insn.src = Operand::makeImm(sz == 1 ? cur.u8()
+                                   : sz == 2 ? cur.u16()
+                                             : cur.u32());
+    } else if (opcode >= 0xb0 && opcode <= 0xb7) {
+        insn.op = Op::Mov;
+        insn.op_size = 1;
+        insn.dst = Operand::makeGpr8(opcode & 7);
+        insn.src = Operand::makeImm(cur.u8());
+    } else if (opcode >= 0xb8 && opcode <= 0xbf) {
+        insn.op = Op::Mov;
+        insn.op_size = op_size;
+        insn.dst = gprOp(opcode & 7, op_size);
+        insn.src = Operand::makeImm(op_size == 2 ? cur.u16() : cur.u32());
+    } else if (opcode == 0xc0 || opcode == 0xc1) {
+        unsigned sz = opcode == 0xc0 ? 1 : op_size;
+        ModRm mrm = parseModRm(cur, sz == 1 ? OperandKind::Gpr8
+                                            : OperandKind::Gpr);
+        insn.op = shiftOp(mrm.reg);
+        if (insn.op == Op::Invalid)
+            ok = false;
+        insn.op_size = sz;
+        insn.dst = mrm.rm;
+        insn.src = Operand::makeImm(cur.u8() & 31);
+    } else if (opcode == 0xc2) {
+        insn.op = Op::Ret;
+        insn.src = Operand::makeImm(cur.u16());
+    } else if (opcode == 0xc3) {
+        insn.op = Op::Ret;
+        insn.src = Operand::makeImm(0);
+    } else if (opcode == 0xc6 || opcode == 0xc7) {
+        unsigned sz = opcode == 0xc6 ? 1 : op_size;
+        ModRm mrm = parseModRm(cur, sz == 1 ? OperandKind::Gpr8
+                                            : OperandKind::Gpr);
+        if (mrm.reg != 0)
+            ok = false;
+        insn.op = Op::Mov;
+        insn.op_size = sz;
+        insn.dst = mrm.rm;
+        insn.src = Operand::makeImm(sz == 1 ? cur.u8()
+                                   : sz == 2 ? cur.u16()
+                                             : cur.u32());
+    } else if (opcode == 0xc9) {
+        insn.op = Op::Leave;
+    } else if (opcode == 0xcc) {
+        insn.op = Op::Int3;
+    } else if (opcode == 0xcd) {
+        insn.op = Op::Int;
+        insn.src = Operand::makeImm(cur.u8());
+    } else if (opcode == 0xd0 || opcode == 0xd1 || opcode == 0xd2 ||
+               opcode == 0xd3) {
+        unsigned sz = (opcode & 1) ? op_size : 1;
+        ModRm mrm = parseModRm(cur, sz == 1 ? OperandKind::Gpr8
+                                            : OperandKind::Gpr);
+        insn.op = shiftOp(mrm.reg);
+        if (insn.op == Op::Invalid)
+            ok = false;
+        insn.op_size = sz;
+        insn.dst = mrm.rm;
+        if (opcode < 0xd2)
+            insn.src = Operand::makeImm(1);
+        else
+            insn.src = Operand::makeGpr8(RegCl);
+    } else if (opcode >= 0xd8 && opcode <= 0xdf) {
+        ok = decodeX87(cur, opcode, insn);
+    } else if (opcode == 0xe8) {
+        insn.imm_rel = cur.s32();
+        finish_rel_branch(Op::Call);
+    } else if (opcode == 0xe9) {
+        insn.imm_rel = cur.s32();
+        finish_rel_branch(Op::Jmp);
+    } else if (opcode == 0xeb) {
+        insn.imm_rel = cur.s8();
+        finish_rel_branch(Op::Jmp);
+    } else if (opcode == 0xf4) {
+        insn.op = Op::Hlt;
+    } else if (opcode == 0xf6 || opcode == 0xf7) {
+        unsigned sz = opcode == 0xf6 ? 1 : op_size;
+        ModRm mrm = parseModRm(cur, sz == 1 ? OperandKind::Gpr8
+                                            : OperandKind::Gpr);
+        insn.op_size = sz;
+        insn.dst = mrm.rm;
+        switch (mrm.reg) {
+          case 0:
+          case 1:
+            insn.op = Op::Test;
+            insn.src = Operand::makeImm(sz == 1 ? cur.u8()
+                                        : sz == 2 ? cur.u16()
+                                                  : cur.u32());
+            break;
+          case 2:
+            insn.op = Op::Not;
+            break;
+          case 3:
+            insn.op = Op::Neg;
+            break;
+          case 4:
+            insn.op = Op::Mul1;
+            insn.src = mrm.rm;
+            insn.dst.kind = OperandKind::None;
+            break;
+          case 5:
+            insn.op = Op::Imul1;
+            insn.src = mrm.rm;
+            insn.dst.kind = OperandKind::None;
+            break;
+          case 6:
+            insn.op = Op::Div;
+            insn.src = mrm.rm;
+            insn.dst.kind = OperandKind::None;
+            break;
+          case 7:
+            insn.op = Op::Idiv;
+            insn.src = mrm.rm;
+            insn.dst.kind = OperandKind::None;
+            break;
+        }
+    } else if (opcode == 0xfc) {
+        insn.op = Op::Cld;
+    } else if (opcode == 0xfd) {
+        insn.op = Op::Std;
+    } else if (opcode == 0xfe) {
+        ModRm mrm = parseModRm(cur, OperandKind::Gpr8);
+        insn.op_size = 1;
+        insn.dst = mrm.rm;
+        if (mrm.reg == 0)
+            insn.op = Op::Inc;
+        else if (mrm.reg == 1)
+            insn.op = Op::Dec;
+        else
+            ok = false;
+    } else if (opcode == 0xff) {
+        ModRm mrm = parseModRm(cur, OperandKind::Gpr);
+        insn.dst = mrm.rm;
+        switch (mrm.reg) {
+          case 0:
+            insn.op = Op::Inc;
+            break;
+          case 1:
+            insn.op = Op::Dec;
+            break;
+          case 2:
+            insn.op = Op::CallInd;
+            insn.src = mrm.rm;
+            insn.dst.kind = OperandKind::None;
+            break;
+          case 4:
+            insn.op = Op::JmpInd;
+            insn.src = mrm.rm;
+            insn.dst.kind = OperandKind::None;
+            break;
+          case 6:
+            insn.op = Op::Push;
+            insn.op_size = 4;
+            break;
+          default:
+            ok = false;
+        }
+    } else if (opcode == 0x0f) {
+        ok = decodeTwoByte(cur, insn, sse_prefix, op_size, addr);
+    } else {
+        ok = false;
+    }
+
+    if (cur.fail || !ok || cur.pos > max_insn_bytes) {
+        out->op = Op::Invalid;
+        out->addr = addr;
+        unsigned consumed = cur.pos < 1 ? 1 : cur.pos;
+        out->len = static_cast<uint8_t>(
+            consumed > max_insn_bytes ? max_insn_bytes : consumed);
+        return false;
+    }
+
+    insn.len = static_cast<uint8_t>(cur.pos);
+
+    // Resolve relative branch targets now that the length is known.
+    if (insn.op == Op::Jcc || insn.op == Op::Jmp || insn.op == Op::Call) {
+        insn.src = Operand::makeImm(
+            static_cast<uint32_t>(addr + insn.len + insn.imm_rel));
+    }
+
+    *out = insn;
+    return true;
+}
+
+bool
+decode(const mem::Memory &memory, uint32_t addr, Insn *out)
+{
+    uint8_t buf[max_insn_bytes];
+    uint64_t got = memory.fetch(addr, buf, sizeof(buf));
+    if (got == 0) {
+        out->op = Op::Invalid;
+        out->addr = addr;
+        out->len = 0;
+        return false;
+    }
+    return decode(buf, static_cast<unsigned>(got), addr, out);
+}
+
+} // namespace el::ia32

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * IA-32 machine-code decoder.
+ *
+ * Decodes raw instruction bytes into ia32::Insn. The translator never
+ * sees anything but bytes fetched from guest memory, so everything the
+ * paper does (basic-block discovery, SMC detection, re-decoding for hot
+ * translation) goes through this decoder.
+ */
+
+#ifndef EL_IA32_DECODER_HH
+#define EL_IA32_DECODER_HH
+
+#include <cstdint>
+
+#include "ia32/insn.hh"
+#include "mem/memory.hh"
+
+namespace el::ia32
+{
+
+/** Maximum encoded length the decoder will consume. */
+constexpr unsigned max_insn_bytes = 15;
+
+/**
+ * Decode a single instruction from a byte buffer.
+ *
+ * @param buf Bytes starting at the instruction.
+ * @param len Available bytes.
+ * @param addr Guest virtual address of buf[0] (stored into the Insn and
+ *             used to resolve relative branch targets).
+ * @param out Decoded instruction.
+ * @return true on success; on failure @p out->op is Op::Invalid and
+ *         out->len is the number of bytes consumed before the failure
+ *         was detected (at least 1).
+ */
+bool decode(const uint8_t *buf, unsigned len, uint32_t addr, Insn *out);
+
+/**
+ * Decode a single instruction by fetching bytes from guest memory.
+ * Requires exec permission; a fetch fault yields Op::Invalid with len 0.
+ */
+bool decode(const mem::Memory &memory, uint32_t addr, Insn *out);
+
+} // namespace el::ia32
+
+#endif // EL_IA32_DECODER_HH

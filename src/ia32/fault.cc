@@ -1,0 +1,41 @@
+#include "ia32/fault.hh"
+
+#include "support/strfmt.hh"
+
+namespace el::ia32
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None:
+        return "none";
+      case FaultKind::PageFault:
+        return "#PF";
+      case FaultKind::DivideError:
+        return "#DE";
+      case FaultKind::InvalidOpcode:
+        return "#UD";
+      case FaultKind::Breakpoint:
+        return "#BP";
+      case FaultKind::FpStackFault:
+        return "#MF(stack)";
+      case FaultKind::FpNumericError:
+        return "#MF";
+      case FaultKind::GeneralProtect:
+        return "#GP";
+    }
+    return "?";
+}
+
+std::string
+Fault::toString() const
+{
+    std::string s = strfmt("%s at eip=%08x", faultKindName(kind), eip);
+    if (kind == FaultKind::PageFault || kind == FaultKind::GeneralProtect)
+        s += strfmt(" addr=%08x %s", addr, is_write ? "write" : "read");
+    return s;
+}
+
+} // namespace el::ia32

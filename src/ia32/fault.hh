@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Guest-visible IA-32 fault descriptions.
+ *
+ * Faults are values, not C++ exceptions: the interpreter and the
+ * translated-code runtime both return them to the OS layer (BTLib), which
+ * routes them to the application's simulated exception handler — the flow
+ * shown in Figure 3(D) of the paper.
+ */
+
+#ifndef EL_IA32_FAULT_HH
+#define EL_IA32_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace el::ia32
+{
+
+/** IA-32 exception classes modelled by this reproduction. */
+enum class FaultKind : uint8_t
+{
+    None = 0,
+    PageFault,      //!< #PF - unmapped or protected memory access.
+    DivideError,    //!< #DE - divide by zero / quotient overflow.
+    InvalidOpcode,  //!< #UD - undecodable or unsupported instruction.
+    Breakpoint,     //!< #BP - int3.
+    FpStackFault,   //!< x87 stack overflow/underflow (#MF with IS).
+    FpNumericError, //!< x87/SSE numeric error (#MF / #XM), e.g. fdiv by 0.
+    GeneralProtect, //!< #GP - e.g. misaligned MOVAPS/MOVDQA operand.
+};
+
+/** A precise IA-32 fault: kind + the IA-32 state coordinates it needs. */
+struct Fault
+{
+    FaultKind kind = FaultKind::None;
+    uint32_t eip = 0;        //!< IA-32 IP of the faulting instruction.
+    uint32_t addr = 0;       //!< Faulting data address (PageFault/#GP).
+    bool is_write = false;   //!< PageFault direction.
+
+    bool valid() const { return kind != FaultKind::None; }
+
+    std::string toString() const;
+};
+
+/** Printable fault kind. */
+const char *faultKindName(FaultKind kind);
+
+} // namespace el::ia32
+
+#endif // EL_IA32_FAULT_HH

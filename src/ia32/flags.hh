@@ -1,0 +1,100 @@
+/**
+ * @file
+ * EFLAGS computation for the IA-32 integer ALU.
+ *
+ * These helpers define the flag semantics used by the interpreter (the
+ * oracle). Where the IA-32 manual leaves a flag undefined (SF/ZF/PF after
+ * multiplies, AF after logic ops), this reproduction picks a fixed,
+ * documented definition so the interpreter and the translated code can be
+ * compared bit-for-bit: undefined flags are computed from the result just
+ * like the defined ones, and AF is cleared by logic ops.
+ */
+
+#ifndef EL_IA32_FLAGS_HH
+#define EL_IA32_FLAGS_HH
+
+#include <cstdint>
+
+#include "ia32/regs.hh"
+#include "support/bitfield.hh"
+
+namespace el::ia32
+{
+
+/** Sign bit mask for an operand size in bytes. */
+constexpr uint32_t
+signBit(unsigned size)
+{
+    return 1u << (size * 8 - 1);
+}
+
+/** Truncation mask for an operand size in bytes. */
+constexpr uint32_t
+sizeMask(unsigned size)
+{
+    return size >= 4 ? 0xffffffffu : ((1u << (size * 8)) - 1);
+}
+
+/** ZF/SF/PF from a result (PF covers the low byte only). */
+inline uint32_t
+flagsZSP(uint32_t result, unsigned size)
+{
+    uint32_t fl = 0;
+    uint32_t r = result & sizeMask(size);
+    if (r == 0)
+        fl |= FlagZf;
+    if (r & signBit(size))
+        fl |= FlagSf;
+    if (!(popcount8(static_cast<uint8_t>(r)) & 1))
+        fl |= FlagPf;
+    return fl;
+}
+
+/** Full flag set for dst = a + b + carry_in. */
+inline uint32_t
+flagsAdd(uint32_t a, uint32_t b, unsigned carry_in, unsigned size)
+{
+    uint32_t mask = sizeMask(size);
+    a &= mask;
+    b &= mask;
+    uint64_t wide = static_cast<uint64_t>(a) + b + carry_in;
+    uint32_t r = static_cast<uint32_t>(wide) & mask;
+    uint32_t fl = flagsZSP(r, size);
+    if (wide > mask)
+        fl |= FlagCf;
+    if (((a ^ r) & (b ^ r)) & signBit(size))
+        fl |= FlagOf;
+    if (((a ^ b ^ r) & 0x10))
+        fl |= FlagAf;
+    return fl;
+}
+
+/** Full flag set for dst = a - b - borrow_in. */
+inline uint32_t
+flagsSub(uint32_t a, uint32_t b, unsigned borrow_in, unsigned size)
+{
+    uint32_t mask = sizeMask(size);
+    a &= mask;
+    b &= mask;
+    uint64_t wide = static_cast<uint64_t>(a) - b - borrow_in;
+    uint32_t r = static_cast<uint32_t>(wide) & mask;
+    uint32_t fl = flagsZSP(r, size);
+    if (static_cast<uint64_t>(a) < static_cast<uint64_t>(b) + borrow_in)
+        fl |= FlagCf;
+    if (((a ^ b) & (a ^ r)) & signBit(size))
+        fl |= FlagOf;
+    if (((a ^ b ^ r) & 0x10))
+        fl |= FlagAf;
+    return fl;
+}
+
+/** Flag set for logic ops (AND/OR/XOR/TEST): CF=OF=AF=0. */
+inline uint32_t
+flagsLogic(uint32_t result, unsigned size)
+{
+    return flagsZSP(result, size);
+}
+
+} // namespace el::ia32
+
+#endif // EL_IA32_FLAGS_HH

@@ -1,0 +1,1429 @@
+#include "ia32/interp.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "ia32/flags.hh"
+#include "support/bitfield.hh"
+#include "support/logging.hh"
+
+namespace el::ia32
+{
+
+namespace
+{
+
+Fault
+pageFault(uint32_t eip, uint32_t addr, bool is_write)
+{
+    Fault f;
+    f.kind = FaultKind::PageFault;
+    f.eip = eip;
+    f.addr = addr;
+    f.is_write = is_write;
+    return f;
+}
+
+Fault
+simpleFault(FaultKind kind, uint32_t eip)
+{
+    Fault f;
+    f.kind = kind;
+    f.eip = eip;
+    return f;
+}
+
+} // namespace
+
+uint32_t
+Interpreter::effAddr(const MemRef &m) const
+{
+    uint32_t addr = static_cast<uint32_t>(m.disp);
+    if (m.has_base)
+        addr += state_.gpr[m.base];
+    if (m.has_index)
+        addr += state_.gpr[m.index] * m.scale;
+    return addr;
+}
+
+bool
+Interpreter::load(uint32_t addr, unsigned size, uint64_t *val, Fault *fault)
+{
+    auto r = mem_.read(addr, size, val);
+    if (!r.ok()) {
+        *fault = pageFault(state_.eip, static_cast<uint32_t>(r.fault_addr),
+                           false);
+        return false;
+    }
+    return true;
+}
+
+bool
+Interpreter::store(uint32_t addr, unsigned size, uint64_t val, Fault *fault)
+{
+    auto r = mem_.write(addr, size, val);
+    if (!r.ok()) {
+        *fault = pageFault(state_.eip, static_cast<uint32_t>(r.fault_addr),
+                           true);
+        return false;
+    }
+    return true;
+}
+
+bool
+Interpreter::readOperand(const Operand &o, unsigned size, uint32_t *val,
+                         Fault *fault)
+{
+    switch (o.kind) {
+      case OperandKind::Gpr:
+        *val = state_.readGpr(static_cast<Reg>(o.reg), size);
+        return true;
+      case OperandKind::Gpr8:
+        *val = state_.readGpr8(o.reg);
+        return true;
+      case OperandKind::Imm:
+        *val = static_cast<uint32_t>(o.imm) & sizeMask(size);
+        return true;
+      case OperandKind::Mem: {
+        uint64_t v;
+        if (!load(effAddr(o.mem), size, &v, fault))
+            return false;
+        *val = static_cast<uint32_t>(v);
+        return true;
+      }
+      default:
+        el_panic("readOperand: bad kind");
+    }
+}
+
+bool
+Interpreter::writeOperand(const Operand &o, unsigned size, uint32_t val,
+                          Fault *fault)
+{
+    switch (o.kind) {
+      case OperandKind::Gpr:
+        state_.writeGpr(static_cast<Reg>(o.reg), val, size);
+        return true;
+      case OperandKind::Gpr8:
+        state_.writeGpr8(o.reg, static_cast<uint8_t>(val));
+        return true;
+      case OperandKind::Mem:
+        return store(effAddr(o.mem), size, val, fault);
+      default:
+        el_panic("writeOperand: bad kind");
+    }
+}
+
+bool
+Interpreter::push32(uint32_t val, Fault *fault)
+{
+    uint32_t addr = state_.gpr[RegEsp] - 4;
+    if (!store(addr, 4, val, fault))
+        return false;
+    state_.gpr[RegEsp] = addr;
+    return true;
+}
+
+bool
+Interpreter::pop32(uint32_t *val, Fault *fault)
+{
+    uint64_t v;
+    if (!load(state_.gpr[RegEsp], 4, &v, fault))
+        return false;
+    *val = static_cast<uint32_t>(v);
+    state_.gpr[RegEsp] += 4;
+    return true;
+}
+
+bool
+Interpreter::fpuCheckRead(uint8_t sti, uint32_t eip, Fault *fault)
+{
+    if (state_.fpu.isEmpty(sti)) {
+        *fault = simpleFault(FaultKind::FpStackFault, eip);
+        return false;
+    }
+    return true;
+}
+
+bool
+Interpreter::fpuCheckPush(uint32_t eip, Fault *fault)
+{
+    // The slot that will become the new ST(0) must be empty.
+    uint8_t slot = (state_.fpu.top + 7) & 7;
+    if (state_.fpu.tag[slot] != FpTag::Empty) {
+        *fault = simpleFault(FaultKind::FpStackFault, eip);
+        return false;
+    }
+    return true;
+}
+
+StepResult
+Interpreter::step()
+{
+    Insn insn;
+    if (!decode(mem_, state_.eip, &insn)) {
+        StepResult res;
+        res.kind = StepKind::Fault;
+        res.fault = simpleFault(insn.len == 0 ? FaultKind::PageFault
+                                              : FaultKind::InvalidOpcode,
+                                state_.eip);
+        if (insn.len == 0)
+            res.fault.addr = state_.eip;
+        res.insn = insn;
+        return res;
+    }
+    return execute(insn);
+}
+
+StepResult
+Interpreter::execute(const Insn &insn)
+{
+    el_assert(state_.eip == insn.addr, "eip %08x != insn.addr %08x",
+              state_.eip, insn.addr);
+    const OpInfo &info = opInfo(insn.op);
+    StepResult res;
+    if (info.is_fp)
+        res = execX87(insn);
+    else if (info.is_mmx)
+        res = execMmx(insn);
+    else if (info.is_sse)
+        res = execSse(insn);
+    else if (insn.op == Op::Movs || insn.op == Op::Stos ||
+             insn.op == Op::Lods)
+        res = execString(insn);
+    else
+        res = execInteger(insn);
+    res.insn = insn;
+    if (res.kind == StepKind::Ok || res.kind == StepKind::Int)
+        ++retired_;
+    return res;
+}
+
+StepResult
+Interpreter::execInteger(const Insn &insn)
+{
+    StepResult res;
+    Fault fault;
+    State &s = state_;
+    unsigned size = insn.op_size;
+
+    auto fail = [&]() {
+        res.kind = StepKind::Fault;
+        res.fault = fault;
+        return res;
+    };
+    auto done = [&]() {
+        s.eip = insn.next();
+        return res;
+    };
+
+    switch (insn.op) {
+      case Op::Nop:
+      case Op::Cld:
+      case Op::Std:
+        if (insn.op == Op::Cld)
+            s.setFlag(FlagDf, false);
+        if (insn.op == Op::Std)
+            s.setFlag(FlagDf, true);
+        return done();
+
+      case Op::Hlt:
+        res.kind = StepKind::Halt;
+        s.eip = insn.next();
+        return res;
+
+      case Op::Int:
+        s.eip = insn.next();
+        res.kind = StepKind::Int;
+        res.vector = static_cast<uint8_t>(insn.src.imm);
+        return res;
+
+      case Op::Int3:
+        fault = simpleFault(FaultKind::Breakpoint, insn.addr);
+        return fail();
+
+      case Op::Ud2:
+        fault = simpleFault(FaultKind::InvalidOpcode, insn.addr);
+        return fail();
+
+      case Op::Mov: {
+        uint32_t v;
+        if (!readOperand(insn.src, size, &v, &fault))
+            return fail();
+        if (!writeOperand(insn.dst, size, v, &fault))
+            return fail();
+        return done();
+      }
+
+      case Op::Movzx:
+      case Op::Movsx: {
+        uint32_t v;
+        if (!readOperand(insn.src, size, &v, &fault))
+            return fail();
+        uint32_t out;
+        if (insn.op == Op::Movzx)
+            out = v & sizeMask(size);
+        else
+            out = static_cast<uint32_t>(sext(v, size * 8));
+        state_.writeGpr(static_cast<Reg>(insn.dst.reg), out, 4);
+        return done();
+      }
+
+      case Op::Lea:
+        state_.writeGpr(static_cast<Reg>(insn.dst.reg),
+                        effAddr(insn.src.mem), size);
+        return done();
+
+      case Op::Xchg: {
+        uint32_t a, b;
+        if (!readOperand(insn.dst, size, &a, &fault))
+            return fail();
+        if (!readOperand(insn.src, size, &b, &fault))
+            return fail();
+        if (!writeOperand(insn.dst, size, b, &fault))
+            return fail();
+        if (!writeOperand(insn.src, size, a, &fault))
+            return fail();
+        return done();
+      }
+
+      case Op::Push: {
+        uint32_t v;
+        if (!readOperand(insn.dst, 4, &v, &fault))
+            return fail();
+        if (!push32(v, &fault))
+            return fail();
+        return done();
+      }
+
+      case Op::Pop: {
+        uint32_t v;
+        if (!pop32(&v, &fault))
+            return fail();
+        if (!writeOperand(insn.dst, 4, v, &fault)) {
+            s.gpr[RegEsp] -= 4; // undo the pop for restartability
+            return fail();
+        }
+        return done();
+      }
+
+      case Op::Cdq:
+        s.gpr[RegEdx] = (s.gpr[RegEax] & 0x80000000u) ? 0xffffffffu : 0;
+        return done();
+
+      case Op::Sahf: {
+        uint32_t ah = (s.gpr[RegEax] >> 8) & 0xff;
+        uint32_t keep = FlagCf | FlagPf | FlagAf | FlagZf | FlagSf;
+        s.eflags = (s.eflags & ~keep) | (ah & keep) | FlagsFixed;
+        return done();
+      }
+
+      case Op::Lahf: {
+        uint32_t fl = (s.eflags | FlagsFixed) & 0xff;
+        s.gpr[RegEax] = (s.gpr[RegEax] & 0xffff00ffu) | (fl << 8);
+        return done();
+      }
+
+      case Op::Add:
+      case Op::Adc:
+      case Op::Sub:
+      case Op::Sbb:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Cmp:
+      case Op::Test: {
+        uint32_t a, b;
+        if (!readOperand(insn.dst, size, &a, &fault))
+            return fail();
+        if (!readOperand(insn.src, size, &b, &fault))
+            return fail();
+        unsigned cin = s.flag(FlagCf) ? 1 : 0;
+        uint32_t r = 0, fl = 0;
+        switch (insn.op) {
+          case Op::Add:
+            r = a + b;
+            fl = flagsAdd(a, b, 0, size);
+            break;
+          case Op::Adc:
+            r = a + b + cin;
+            fl = flagsAdd(a, b, cin, size);
+            break;
+          case Op::Sub:
+          case Op::Cmp:
+            r = a - b;
+            fl = flagsSub(a, b, 0, size);
+            break;
+          case Op::Sbb:
+            r = a - b - cin;
+            fl = flagsSub(a, b, cin, size);
+            break;
+          case Op::And:
+          case Op::Test:
+            r = a & b;
+            fl = flagsLogic(r, size);
+            break;
+          case Op::Or:
+            r = a | b;
+            fl = flagsLogic(r, size);
+            break;
+          case Op::Xor:
+            r = a ^ b;
+            fl = flagsLogic(r, size);
+            break;
+          default:
+            el_panic("unreachable");
+        }
+        if (insn.op != Op::Cmp && insn.op != Op::Test) {
+            if (!writeOperand(insn.dst, size, r & sizeMask(size), &fault))
+                return fail();
+        }
+        s.setArithFlags(fl);
+        return done();
+      }
+
+      case Op::Inc:
+      case Op::Dec: {
+        uint32_t a;
+        if (!readOperand(insn.dst, size, &a, &fault))
+            return fail();
+        uint32_t r;
+        uint32_t fl;
+        if (insn.op == Op::Inc) {
+            r = a + 1;
+            fl = flagsAdd(a, 1, 0, size);
+        } else {
+            r = a - 1;
+            fl = flagsSub(a, 1, 0, size);
+        }
+        if (!writeOperand(insn.dst, size, r & sizeMask(size), &fault))
+            return fail();
+        // CF is preserved by INC/DEC.
+        fl = (fl & ~FlagCf) | (s.eflags & FlagCf);
+        s.setArithFlags(fl);
+        return done();
+      }
+
+      case Op::Neg: {
+        uint32_t a;
+        if (!readOperand(insn.dst, size, &a, &fault))
+            return fail();
+        uint32_t r = (0 - a) & sizeMask(size);
+        uint32_t fl = flagsSub(0, a, 0, size);
+        if (!writeOperand(insn.dst, size, r, &fault))
+            return fail();
+        s.setArithFlags(fl);
+        return done();
+      }
+
+      case Op::Not: {
+        uint32_t a;
+        if (!readOperand(insn.dst, size, &a, &fault))
+            return fail();
+        if (!writeOperand(insn.dst, size, ~a & sizeMask(size), &fault))
+            return fail();
+        return done();
+      }
+
+      case Op::Imul2: {
+        uint32_t a, b;
+        if (!readOperand(insn.dst, size, &a, &fault))
+            return fail();
+        if (!readOperand(insn.src, size, &b, &fault))
+            return fail();
+        int64_t wide = static_cast<int64_t>(sext(a, size * 8)) *
+                       sext(b, size * 8);
+        uint32_t r = static_cast<uint32_t>(wide) & sizeMask(size);
+        uint32_t fl = flagsZSP(r, size);
+        if (wide != sext(r, size * 8))
+            fl |= FlagCf | FlagOf;
+        if (!writeOperand(insn.dst, size, r, &fault))
+            return fail();
+        s.setArithFlags(fl);
+        return done();
+      }
+
+      case Op::Mul1:
+      case Op::Imul1: {
+        uint32_t b;
+        if (!readOperand(insn.src, size, &b, &fault))
+            return fail();
+        el_assert(size == 4, "8/16-bit mul not modelled");
+        uint64_t wide;
+        if (insn.op == Op::Mul1) {
+            wide = static_cast<uint64_t>(s.gpr[RegEax]) * b;
+        } else {
+            wide = static_cast<uint64_t>(
+                static_cast<int64_t>(static_cast<int32_t>(s.gpr[RegEax])) *
+                static_cast<int64_t>(static_cast<int32_t>(b)));
+        }
+        uint32_t lo = static_cast<uint32_t>(wide);
+        uint32_t hi = static_cast<uint32_t>(wide >> 32);
+        s.gpr[RegEax] = lo;
+        s.gpr[RegEdx] = hi;
+        uint32_t fl = flagsZSP(lo, size);
+        bool over;
+        if (insn.op == Op::Mul1)
+            over = hi != 0;
+        else
+            over = wide != static_cast<uint64_t>(
+                sext(lo, 32));
+        if (over)
+            fl |= FlagCf | FlagOf;
+        s.setArithFlags(fl);
+        return done();
+      }
+
+      case Op::Div:
+      case Op::Idiv: {
+        uint32_t b;
+        if (!readOperand(insn.src, size, &b, &fault))
+            return fail();
+        el_assert(size == 4, "8/16-bit div not modelled");
+        if (b == 0) {
+            fault = simpleFault(FaultKind::DivideError, insn.addr);
+            return fail();
+        }
+        uint64_t dividend = (static_cast<uint64_t>(s.gpr[RegEdx]) << 32) |
+                            s.gpr[RegEax];
+        if (insn.op == Op::Div) {
+            uint64_t q = dividend / b;
+            uint64_t r = dividend % b;
+            if (q > 0xffffffffULL) {
+                fault = simpleFault(FaultKind::DivideError, insn.addr);
+                return fail();
+            }
+            s.gpr[RegEax] = static_cast<uint32_t>(q);
+            s.gpr[RegEdx] = static_cast<uint32_t>(r);
+        } else {
+            int64_t sd = static_cast<int64_t>(dividend);
+            int64_t sb = static_cast<int32_t>(b);
+            if (sd == INT64_MIN && sb == -1) {
+                fault = simpleFault(FaultKind::DivideError, insn.addr);
+                return fail();
+            }
+            int64_t q = sd / sb;
+            int64_t r = sd % sb;
+            if (q > INT32_MAX || q < INT32_MIN) {
+                fault = simpleFault(FaultKind::DivideError, insn.addr);
+                return fail();
+            }
+            s.gpr[RegEax] = static_cast<uint32_t>(q);
+            s.gpr[RegEdx] = static_cast<uint32_t>(r);
+        }
+        return done();
+      }
+
+      case Op::Shl:
+      case Op::Shr:
+      case Op::Sar:
+      case Op::Rol:
+      case Op::Ror: {
+        uint32_t a, cnt_raw;
+        if (!readOperand(insn.dst, size, &a, &fault))
+            return fail();
+        if (!readOperand(insn.src, 1, &cnt_raw, &fault))
+            return fail();
+        unsigned cnt = cnt_raw & 31;
+        if (cnt == 0)
+            return done();
+        unsigned nbits = size * 8;
+        uint32_t mask = sizeMask(size);
+        uint32_t r = 0;
+        uint32_t fl = s.eflags & FlagsArith;
+        bool cf = false;
+        switch (insn.op) {
+          case Op::Shl:
+            r = (cnt >= nbits) ? 0 : (a << cnt) & mask;
+            cf = cnt <= nbits && (a >> (nbits - cnt)) & 1;
+            fl = flagsZSP(r, size) | (cf ? uint32_t{FlagCf} : 0u);
+            if (((r & signBit(size)) != 0) != cf)
+                fl |= (cnt == 1) ? uint32_t{FlagOf} : 0u;
+            break;
+          case Op::Shr:
+            r = (cnt >= nbits) ? 0 : (a & mask) >> cnt;
+            cf = cnt <= nbits && (a >> (cnt - 1)) & 1;
+            fl = flagsZSP(r, size) | (cf ? uint32_t{FlagCf} : 0u);
+            if (cnt == 1 && (a & signBit(size)))
+                fl |= FlagOf;
+            break;
+          case Op::Sar: {
+            int32_t sa = static_cast<int32_t>(sext(a, nbits));
+            r = static_cast<uint32_t>(sa >> (cnt >= nbits ? nbits - 1
+                                                          : cnt)) & mask;
+            cf = (sa >> (cnt - 1 >= nbits ? nbits - 1 : cnt - 1)) & 1;
+            fl = flagsZSP(r, size) | (cf ? uint32_t{FlagCf} : 0u);
+            break;
+          }
+          case Op::Rol: {
+            unsigned c = cnt % nbits;
+            uint32_t av = a & mask;
+            r = c ? ((av << c) | (av >> (nbits - c))) & mask : av;
+            cf = r & 1;
+            fl = (fl & ~(FlagCf | FlagOf)) | (cf ? uint32_t{FlagCf} : 0u);
+            if (cnt == 1 && (((r & signBit(size)) != 0) != cf))
+                fl |= FlagOf;
+            break;
+          }
+          case Op::Ror: {
+            unsigned c = cnt % nbits;
+            uint32_t av = a & mask;
+            r = c ? ((av >> c) | (av << (nbits - c))) & mask : av;
+            cf = (r & signBit(size)) != 0;
+            fl = (fl & ~(FlagCf | FlagOf)) | (cf ? uint32_t{FlagCf} : 0u);
+            if (cnt == 1 &&
+                (((r & signBit(size)) != 0) !=
+                 ((r & (signBit(size) >> 1)) != 0))) {
+                fl |= FlagOf;
+            }
+            break;
+          }
+          default:
+            el_panic("unreachable");
+        }
+        if (!writeOperand(insn.dst, size, r, &fault))
+            return fail();
+        s.setArithFlags(fl);
+        return done();
+      }
+
+      case Op::Jcc:
+        if (condEval(insn.cond, s.eflags))
+            s.eip = insn.target();
+        else
+            s.eip = insn.next();
+        return res;
+
+      case Op::Jmp:
+        s.eip = insn.target();
+        return res;
+
+      case Op::JmpInd: {
+        uint32_t t;
+        if (!readOperand(insn.src, 4, &t, &fault))
+            return fail();
+        s.eip = t;
+        return res;
+      }
+
+      case Op::Call: {
+        if (!push32(insn.next(), &fault))
+            return fail();
+        s.eip = insn.target();
+        return res;
+      }
+
+      case Op::CallInd: {
+        uint32_t t;
+        if (!readOperand(insn.src, 4, &t, &fault))
+            return fail();
+        if (!push32(insn.next(), &fault))
+            return fail();
+        s.eip = t;
+        return res;
+      }
+
+      case Op::Ret: {
+        uint32_t t;
+        if (!pop32(&t, &fault))
+            return fail();
+        s.gpr[RegEsp] += static_cast<uint32_t>(insn.src.imm);
+        s.eip = t;
+        return res;
+      }
+
+      case Op::Leave: {
+        uint32_t saved_esp = s.gpr[RegEsp];
+        s.gpr[RegEsp] = s.gpr[RegEbp];
+        uint32_t v;
+        if (!pop32(&v, &fault)) {
+            s.gpr[RegEsp] = saved_esp;
+            return fail();
+        }
+        s.gpr[RegEbp] = v;
+        return done();
+      }
+
+      case Op::Setcc: {
+        uint32_t v = condEval(insn.cond, s.eflags) ? 1 : 0;
+        if (!writeOperand(insn.dst, 1, v, &fault))
+            return fail();
+        return done();
+      }
+
+      case Op::Cmovcc: {
+        uint32_t v;
+        if (!readOperand(insn.src, size, &v, &fault))
+            return fail();
+        if (condEval(insn.cond, s.eflags))
+            state_.writeGpr(static_cast<Reg>(insn.dst.reg), v, size);
+        return done();
+      }
+
+      default:
+        fault = simpleFault(FaultKind::InvalidOpcode, insn.addr);
+        return fail();
+    }
+}
+
+StepResult
+Interpreter::execX87(const Insn &insn)
+{
+    StepResult res;
+    Fault fault;
+    State &s = state_;
+    FpuState &fpu = s.fpu;
+
+    auto fail = [&]() {
+        res.kind = StepKind::Fault;
+        res.fault = fault;
+        return res;
+    };
+    auto done = [&]() {
+        s.eip = insn.next();
+        return res;
+    };
+
+    switch (insn.op) {
+      case Op::Fninit:
+        fpu.init();
+        return done();
+
+      case Op::Fld1:
+      case Op::Fldz: {
+        if (!fpuCheckPush(insn.addr, &fault))
+            return fail();
+        fpu.pushTop();
+        fpu.writeSt(0, insn.op == Op::Fld1 ? 1.0L : 0.0L);
+        return done();
+      }
+
+      case Op::Fld: {
+        long double v;
+        if (insn.src.kind == OperandKind::St) {
+            if (!fpuCheckRead(insn.src.reg, insn.addr, &fault))
+                return fail();
+            v = fpu.readSt(insn.src.reg);
+        } else {
+            uint64_t bits;
+            if (!load(effAddr(insn.src.mem), insn.op_size, &bits, &fault))
+                return fail();
+            if (insn.op_size == 4) {
+                float f;
+                std::memcpy(&f, &bits, 4);
+                v = f;
+            } else {
+                double d;
+                std::memcpy(&d, &bits, 8);
+                v = d;
+            }
+        }
+        if (!fpuCheckPush(insn.addr, &fault))
+            return fail();
+        fpu.pushTop();
+        fpu.writeSt(0, v);
+        return done();
+      }
+
+      case Op::Fild: {
+        uint64_t bits;
+        if (!load(effAddr(insn.src.mem), 4, &bits, &fault))
+            return fail();
+        if (!fpuCheckPush(insn.addr, &fault))
+            return fail();
+        fpu.pushTop();
+        fpu.writeSt(0, static_cast<long double>(
+            static_cast<int32_t>(bits)));
+        return done();
+      }
+
+      case Op::Fst: {
+        if (!fpuCheckRead(0, insn.addr, &fault))
+            return fail();
+        long double v = fpu.readSt(0);
+        if (insn.dst.kind == OperandKind::St) {
+            fpu.writeSt(insn.dst.reg, v);
+        } else {
+            uint64_t bits = 0;
+            if (insn.op_size == 4) {
+                float f = static_cast<float>(v);
+                std::memcpy(&bits, &f, 4);
+            } else {
+                double d = static_cast<double>(v);
+                std::memcpy(&bits, &d, 8);
+            }
+            if (!store(effAddr(insn.dst.mem), insn.op_size, bits, &fault))
+                return fail();
+        }
+        if (insn.fp_pop)
+            fpu.popTop();
+        return done();
+      }
+
+      case Op::Fistp: {
+        if (!fpuCheckRead(0, insn.addr, &fault))
+            return fail();
+        long double v = fpu.readSt(0);
+        int64_t wide = std::llrintl(v);
+        uint32_t out;
+        if (std::isnan(static_cast<double>(v)) || wide > INT32_MAX ||
+            wide < INT32_MIN) {
+            out = 0x80000000u; // x87 integer indefinite
+        } else {
+            out = static_cast<uint32_t>(static_cast<int32_t>(wide));
+        }
+        if (!store(effAddr(insn.dst.mem), 4, out, &fault))
+            return fail();
+        fpu.popTop();
+        return done();
+      }
+
+      case Op::Fadd:
+      case Op::Fsub:
+      case Op::Fsubr:
+      case Op::Fmul:
+      case Op::Fdiv:
+      case Op::Fdivr: {
+        long double a, b;
+        uint8_t dst_sti;
+        if (insn.src.kind == OperandKind::Mem) {
+            // ST(0) = ST(0) op mem.
+            if (!fpuCheckRead(0, insn.addr, &fault))
+                return fail();
+            uint64_t bits;
+            if (!load(effAddr(insn.src.mem), insn.op_size, &bits, &fault))
+                return fail();
+            if (insn.op_size == 4) {
+                float f;
+                std::memcpy(&f, &bits, 4);
+                b = f;
+            } else {
+                double d;
+                std::memcpy(&d, &bits, 8);
+                b = d;
+            }
+            a = fpu.readSt(0);
+            dst_sti = 0;
+        } else {
+            uint8_t dst_i = insn.dst.reg;
+            uint8_t src_i = insn.src.reg;
+            if (!fpuCheckRead(dst_i, insn.addr, &fault) ||
+                !fpuCheckRead(src_i, insn.addr, &fault)) {
+                return fail();
+            }
+            a = fpu.readSt(dst_i);
+            b = fpu.readSt(src_i);
+            dst_sti = dst_i;
+        }
+        long double r;
+        switch (insn.op) {
+          case Op::Fadd:
+            r = a + b;
+            break;
+          case Op::Fsub:
+            r = a - b;
+            break;
+          case Op::Fsubr:
+            r = b - a;
+            break;
+          case Op::Fmul:
+            r = a * b;
+            break;
+          case Op::Fdiv:
+            r = a / b;
+            break;
+          case Op::Fdivr:
+            r = b / a;
+            break;
+          default:
+            el_panic("unreachable");
+        }
+        fpu.writeSt(dst_sti, r);
+        if (insn.fp_pop)
+            fpu.popTop();
+        return done();
+      }
+
+      case Op::Fxch: {
+        uint8_t i = insn.dst.reg;
+        if (!fpuCheckRead(0, insn.addr, &fault) ||
+            !fpuCheckRead(i, insn.addr, &fault)) {
+            return fail();
+        }
+        long double a = fpu.readSt(0);
+        long double b = fpu.readSt(i);
+        fpu.writeSt(0, b);
+        fpu.writeSt(i, a);
+        return done();
+      }
+
+      case Op::Fchs:
+      case Op::Fabs:
+      case Op::Fsqrt: {
+        if (!fpuCheckRead(0, insn.addr, &fault))
+            return fail();
+        long double v = fpu.readSt(0);
+        if (insn.op == Op::Fchs)
+            v = -v;
+        else if (insn.op == Op::Fabs)
+            v = v < 0 ? -v : v;
+        else
+            v = sqrtl(v); // negative input yields NaN (masked response)
+        fpu.writeSt(0, v);
+        return done();
+      }
+
+      case Op::Fcomi: {
+        uint8_t i = insn.src.reg;
+        if (!fpuCheckRead(0, insn.addr, &fault) ||
+            !fpuCheckRead(i, insn.addr, &fault)) {
+            return fail();
+        }
+        long double a = fpu.readSt(0);
+        long double b = fpu.readSt(i);
+        uint32_t fl = 0;
+        if (std::isnan(static_cast<double>(a)) ||
+            std::isnan(static_cast<double>(b))) {
+            fl = FlagZf | FlagPf | FlagCf;
+        } else if (a == b) {
+            fl = FlagZf;
+        } else if (a < b) {
+            fl = FlagCf;
+        }
+        s.setArithFlags(fl);
+        if (insn.fp_pop)
+            fpu.popTop();
+        return done();
+      }
+
+      case Op::Fnstsw: {
+        uint32_t sw = fpu.statusWord();
+        s.writeGpr(RegEax, sw, 2);
+        return done();
+      }
+
+      default:
+        fault = simpleFault(FaultKind::InvalidOpcode, insn.addr);
+        return fail();
+    }
+}
+
+StepResult
+Interpreter::execMmx(const Insn &insn)
+{
+    StepResult res;
+    Fault fault;
+    State &s = state_;
+    FpuState &fpu = s.fpu;
+
+    auto fail = [&]() {
+        res.kind = StepKind::Fault;
+        res.fault = fault;
+        return res;
+    };
+    auto done = [&]() {
+        s.eip = insn.next();
+        return res;
+    };
+
+    auto readMmOperand = [&](const Operand &o, uint64_t *val) {
+        if (o.kind == OperandKind::Mm) {
+            *val = fpu.readMm(o.reg);
+            return true;
+        }
+        el_assert(o.isMem(), "bad MMX operand");
+        return load(effAddr(o.mem), 8, val, &fault);
+    };
+
+    switch (insn.op) {
+      case Op::Emms:
+        fpu.tag.fill(FpTag::Empty);
+        return done();
+
+      case Op::Movd: {
+        if (insn.dst.kind == OperandKind::Mm) {
+            uint32_t v;
+            if (!readOperand(insn.src, 4, &v, &fault))
+                return fail();
+            fpu.writeMm(insn.dst.reg, v);
+        } else {
+            uint64_t v = fpu.readMm(insn.src.reg);
+            // MOVD reads the register without changing tags/TOS? On real
+            // hardware every MMX instruction resets TOS and tags; model
+            // that by re-writing the register value.
+            fpu.writeMm(insn.src.reg, v);
+            if (!writeOperand(insn.dst, 4, static_cast<uint32_t>(v),
+                              &fault)) {
+                return fail();
+            }
+        }
+        return done();
+      }
+
+      case Op::MovqMm: {
+        if (insn.dst.kind == OperandKind::Mm) {
+            uint64_t v;
+            if (!readMmOperand(insn.src, &v))
+                return fail();
+            fpu.writeMm(insn.dst.reg, v);
+        } else {
+            uint64_t v = fpu.readMm(insn.src.reg);
+            fpu.writeMm(insn.src.reg, v);
+            if (!store(effAddr(insn.dst.mem), 8, v, &fault))
+                return fail();
+        }
+        return done();
+      }
+
+      case Op::Paddb:
+      case Op::Paddw:
+      case Op::Paddd:
+      case Op::Psubb:
+      case Op::Psubw:
+      case Op::Psubd:
+      case Op::Pand:
+      case Op::Por:
+      case Op::Pxor:
+      case Op::Pmullw: {
+        uint64_t a = fpu.readMm(insn.dst.reg);
+        uint64_t b;
+        if (!readMmOperand(insn.src, &b))
+            return fail();
+        uint64_t r = 0;
+        auto lanes = [&](unsigned lane_bits, auto fn) {
+            unsigned n = 64 / lane_bits;
+            for (unsigned i = 0; i < n; ++i) {
+                uint64_t la = bits(a, i * lane_bits, lane_bits);
+                uint64_t lb = bits(b, i * lane_bits, lane_bits);
+                r = insertBits(r, i * lane_bits, lane_bits, fn(la, lb));
+            }
+        };
+        switch (insn.op) {
+          case Op::Paddb:
+            lanes(8, [](uint64_t x, uint64_t y) { return x + y; });
+            break;
+          case Op::Paddw:
+            lanes(16, [](uint64_t x, uint64_t y) { return x + y; });
+            break;
+          case Op::Paddd:
+            lanes(32, [](uint64_t x, uint64_t y) { return x + y; });
+            break;
+          case Op::Psubb:
+            lanes(8, [](uint64_t x, uint64_t y) { return x - y; });
+            break;
+          case Op::Psubw:
+            lanes(16, [](uint64_t x, uint64_t y) { return x - y; });
+            break;
+          case Op::Psubd:
+            lanes(32, [](uint64_t x, uint64_t y) { return x - y; });
+            break;
+          case Op::Pand:
+            r = a & b;
+            break;
+          case Op::Por:
+            r = a | b;
+            break;
+          case Op::Pxor:
+            r = a ^ b;
+            break;
+          case Op::Pmullw:
+            lanes(16, [](uint64_t x, uint64_t y) {
+                return static_cast<uint64_t>(
+                    static_cast<int16_t>(x) * static_cast<int16_t>(y));
+            });
+            break;
+          default:
+            el_panic("unreachable");
+        }
+        fpu.writeMm(insn.dst.reg, r);
+        return done();
+      }
+
+      default:
+        fault = simpleFault(FaultKind::InvalidOpcode, insn.addr);
+        return fail();
+    }
+}
+
+StepResult
+Interpreter::execSse(const Insn &insn)
+{
+    StepResult res;
+    Fault fault;
+    State &s = state_;
+
+    auto fail = [&]() {
+        res.kind = StepKind::Fault;
+        res.fault = fault;
+        return res;
+    };
+    auto done = [&]() {
+        s.eip = insn.next();
+        return res;
+    };
+
+    auto load128 = [&](uint32_t addr, XmmReg *out, bool aligned) {
+        if (aligned && (addr & 15)) {
+            fault = simpleFault(FaultKind::GeneralProtect, insn.addr);
+            fault.addr = addr;
+            return false;
+        }
+        auto r = mem_.readBytes(addr, out->bytes.data(), 16);
+        if (!r.ok()) {
+            fault = pageFault(insn.addr,
+                              static_cast<uint32_t>(r.fault_addr), false);
+            return false;
+        }
+        return true;
+    };
+    auto store128 = [&](uint32_t addr, const XmmReg &v, bool aligned) {
+        if (aligned && (addr & 15)) {
+            fault = simpleFault(FaultKind::GeneralProtect, insn.addr);
+            fault.addr = addr;
+            return false;
+        }
+        auto r = mem_.writeBytes(addr, v.bytes.data(), 16);
+        if (!r.ok()) {
+            fault = pageFault(insn.addr,
+                              static_cast<uint32_t>(r.fault_addr), true);
+            return false;
+        }
+        return true;
+    };
+
+    /** Read a full 16-byte source (register or memory). */
+    auto readX = [&](const Operand &o, XmmReg *out, bool aligned) {
+        if (o.kind == OperandKind::Xmm) {
+            *out = s.xmm[o.reg];
+            return true;
+        }
+        return load128(effAddr(o.mem), out, aligned);
+    };
+
+    switch (insn.op) {
+      case Op::Movaps:
+      case Op::Movups:
+      case Op::Movdqa: {
+        bool aligned = insn.op != Op::Movups;
+        if (insn.dst.kind == OperandKind::Xmm) {
+            XmmReg v;
+            if (!readX(insn.src, &v, aligned))
+                return fail();
+            s.xmm[insn.dst.reg] = v;
+        } else {
+            if (!store128(effAddr(insn.dst.mem), s.xmm[insn.src.reg],
+                          aligned)) {
+                return fail();
+            }
+        }
+        return done();
+      }
+
+      case Op::Movss: {
+        if (insn.dst.kind == OperandKind::Xmm &&
+            insn.src.kind == OperandKind::Xmm) {
+            s.xmm[insn.dst.reg].setU32(0, s.xmm[insn.src.reg].u32(0));
+        } else if (insn.dst.kind == OperandKind::Xmm) {
+            uint64_t v;
+            if (!load(effAddr(insn.src.mem), 4, &v, &fault))
+                return fail();
+            XmmReg r{};
+            r.setU32(0, static_cast<uint32_t>(v));
+            s.xmm[insn.dst.reg] = r; // load zeroes the upper lanes
+        } else {
+            if (!store(effAddr(insn.dst.mem), 4,
+                       s.xmm[insn.src.reg].u32(0), &fault)) {
+                return fail();
+            }
+        }
+        return done();
+      }
+
+      case Op::MovsdX: {
+        if (insn.dst.kind == OperandKind::Xmm &&
+            insn.src.kind == OperandKind::Xmm) {
+            s.xmm[insn.dst.reg].setU64(0, s.xmm[insn.src.reg].u64(0));
+        } else if (insn.dst.kind == OperandKind::Xmm) {
+            uint64_t v;
+            if (!load(effAddr(insn.src.mem), 8, &v, &fault))
+                return fail();
+            XmmReg r{};
+            r.setU64(0, v);
+            s.xmm[insn.dst.reg] = r;
+        } else {
+            if (!store(effAddr(insn.dst.mem), 8,
+                       s.xmm[insn.src.reg].u64(0), &fault)) {
+                return fail();
+            }
+        }
+        return done();
+      }
+
+      case Op::Addps:
+      case Op::Subps:
+      case Op::Mulps:
+      case Op::Divps: {
+        XmmReg b;
+        if (!readX(insn.src, &b, true))
+            return fail();
+        XmmReg &d = s.xmm[insn.dst.reg];
+        for (unsigned i = 0; i < 4; ++i) {
+            float x = d.f32(i), y = b.f32(i);
+            float r = insn.op == Op::Addps ? x + y
+                    : insn.op == Op::Subps ? x - y
+                    : insn.op == Op::Mulps ? x * y
+                                           : x / y;
+            d.setF32(i, r);
+        }
+        return done();
+      }
+
+      case Op::Addss:
+      case Op::Subss:
+      case Op::Mulss:
+      case Op::Divss:
+      case Op::Sqrtss: {
+        float y;
+        if (insn.src.kind == OperandKind::Xmm) {
+            y = s.xmm[insn.src.reg].f32(0);
+        } else {
+            uint64_t v;
+            if (!load(effAddr(insn.src.mem), 4, &v, &fault))
+                return fail();
+            uint32_t v32 = static_cast<uint32_t>(v);
+            std::memcpy(&y, &v32, 4);
+        }
+        XmmReg &d = s.xmm[insn.dst.reg];
+        float x = d.f32(0);
+        float r;
+        switch (insn.op) {
+          case Op::Addss:
+            r = x + y;
+            break;
+          case Op::Subss:
+            r = x - y;
+            break;
+          case Op::Mulss:
+            r = x * y;
+            break;
+          case Op::Divss:
+            r = x / y;
+            break;
+          case Op::Sqrtss:
+            r = std::sqrt(y);
+            break;
+          default:
+            el_panic("unreachable");
+        }
+        d.setF32(0, r);
+        return done();
+      }
+
+      case Op::Addpd:
+      case Op::Subpd:
+      case Op::Mulpd: {
+        XmmReg b;
+        if (!readX(insn.src, &b, true))
+            return fail();
+        XmmReg &d = s.xmm[insn.dst.reg];
+        for (unsigned i = 0; i < 2; ++i) {
+            double x = d.f64(i), y = b.f64(i);
+            double r = insn.op == Op::Addpd ? x + y
+                     : insn.op == Op::Subpd ? x - y
+                                            : x * y;
+            d.setF64(i, r);
+        }
+        return done();
+      }
+
+      case Op::Addsd:
+      case Op::Mulsd: {
+        double y;
+        if (insn.src.kind == OperandKind::Xmm) {
+            y = s.xmm[insn.src.reg].f64(0);
+        } else {
+            uint64_t v;
+            if (!load(effAddr(insn.src.mem), 8, &v, &fault))
+                return fail();
+            std::memcpy(&y, &v, 8);
+        }
+        XmmReg &d = s.xmm[insn.dst.reg];
+        double x = d.f64(0);
+        d.setF64(0, insn.op == Op::Addsd ? x + y : x * y);
+        return done();
+      }
+
+      case Op::Andps:
+      case Op::Xorps: {
+        XmmReg b;
+        if (!readX(insn.src, &b, true))
+            return fail();
+        XmmReg &d = s.xmm[insn.dst.reg];
+        for (unsigned i = 0; i < 2; ++i) {
+            uint64_t x = d.u64(i), y = b.u64(i);
+            d.setU64(i, insn.op == Op::Andps ? (x & y) : (x ^ y));
+        }
+        return done();
+      }
+
+      case Op::PadddX: {
+        XmmReg b;
+        if (!readX(insn.src, &b, true))
+            return fail();
+        XmmReg &d = s.xmm[insn.dst.reg];
+        for (unsigned i = 0; i < 4; ++i)
+            d.setU32(i, d.u32(i) + b.u32(i));
+        return done();
+      }
+
+      case Op::Ucomiss: {
+        float y;
+        if (insn.src.kind == OperandKind::Xmm) {
+            y = s.xmm[insn.src.reg].f32(0);
+        } else {
+            uint64_t v;
+            if (!load(effAddr(insn.src.mem), 4, &v, &fault))
+                return fail();
+            uint32_t v32 = static_cast<uint32_t>(v);
+            std::memcpy(&y, &v32, 4);
+        }
+        float x = s.xmm[insn.dst.reg].f32(0);
+        uint32_t fl = 0;
+        if (std::isnan(x) || std::isnan(y))
+            fl = FlagZf | FlagPf | FlagCf;
+        else if (x == y)
+            fl = FlagZf;
+        else if (x < y)
+            fl = FlagCf;
+        s.setArithFlags(fl);
+        return done();
+      }
+
+      case Op::Cvtps2pd: {
+        XmmReg b;
+        if (!readX(insn.src, &b, true))
+            return fail();
+        XmmReg &d = s.xmm[insn.dst.reg];
+        double lo = b.f32(0);
+        double hi = b.f32(1);
+        d.setF64(0, lo);
+        d.setF64(1, hi);
+        return done();
+      }
+
+      case Op::Cvtpd2ps: {
+        XmmReg b;
+        if (!readX(insn.src, &b, true))
+            return fail();
+        XmmReg &d = s.xmm[insn.dst.reg];
+        float lo = static_cast<float>(b.f64(0));
+        float hi = static_cast<float>(b.f64(1));
+        XmmReg r{};
+        r.setF32(0, lo);
+        r.setF32(1, hi);
+        d = r;
+        return done();
+      }
+
+      case Op::Cvtsi2ss: {
+        uint32_t v;
+        if (!readOperand(insn.src, 4, &v, &fault))
+            return fail();
+        s.xmm[insn.dst.reg].setF32(
+            0, static_cast<float>(static_cast<int32_t>(v)));
+        return done();
+      }
+
+      case Op::Cvttss2si: {
+        float y;
+        if (insn.src.kind == OperandKind::Xmm) {
+            y = s.xmm[insn.src.reg].f32(0);
+        } else {
+            uint64_t v;
+            if (!load(effAddr(insn.src.mem), 4, &v, &fault))
+                return fail();
+            uint32_t v32 = static_cast<uint32_t>(v);
+            std::memcpy(&y, &v32, 4);
+        }
+        int32_t out;
+        if (std::isnan(y) || y >= 2147483648.0f || y < -2147483648.0f)
+            out = INT32_MIN;
+        else
+            out = static_cast<int32_t>(y);
+        state_.writeGpr(static_cast<Reg>(insn.dst.reg),
+                        static_cast<uint32_t>(out), 4);
+        return done();
+      }
+
+      default:
+        fault = simpleFault(FaultKind::InvalidOpcode, insn.addr);
+        return fail();
+    }
+}
+
+StepResult
+Interpreter::execString(const Insn &insn)
+{
+    StepResult res;
+    Fault fault;
+    State &s = state_;
+    unsigned size = insn.op_size;
+    int32_t step = s.flag(FlagDf) ? -static_cast<int32_t>(size)
+                                  : static_cast<int32_t>(size);
+
+    auto fail = [&]() {
+        res.kind = StepKind::Fault;
+        res.fault = fault;
+        return res;
+    };
+
+    auto one = [&]() -> bool {
+        switch (insn.op) {
+          case Op::Movs: {
+            uint64_t v;
+            if (!load(s.gpr[RegEsi], size, &v, &fault))
+                return false;
+            if (!store(s.gpr[RegEdi], size, v, &fault))
+                return false;
+            s.gpr[RegEsi] += static_cast<uint32_t>(step);
+            s.gpr[RegEdi] += static_cast<uint32_t>(step);
+            return true;
+          }
+          case Op::Stos: {
+            uint64_t v = s.gpr[RegEax] & sizeMask(size);
+            if (!store(s.gpr[RegEdi], size, v, &fault))
+                return false;
+            s.gpr[RegEdi] += static_cast<uint32_t>(step);
+            return true;
+          }
+          case Op::Lods: {
+            uint64_t v;
+            if (!load(s.gpr[RegEsi], size, &v, &fault))
+                return false;
+            if (size == 1)
+                s.writeGpr8(RegAl, static_cast<uint8_t>(v));
+            else
+                s.writeGpr(RegEax, static_cast<uint32_t>(v), size);
+            s.gpr[RegEsi] += static_cast<uint32_t>(step);
+            return true;
+          }
+          default:
+            el_panic("unreachable");
+        }
+    };
+
+    if (!insn.rep) {
+        if (!one())
+            return fail();
+    } else {
+        while (s.gpr[RegEcx] != 0) {
+            if (!one())
+                return fail(); // restartable: regs reflect progress
+            s.gpr[RegEcx] -= 1;
+        }
+    }
+    s.eip = insn.next();
+    return res;
+}
+
+} // namespace el::ia32

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reference IA-32 interpreter.
+ *
+ * The interpreter defines guest semantics for this reproduction. It plays
+ * three roles:
+ *  - the correctness oracle for differential testing of the translator,
+ *  - the model of the "existing hardware circuitry" the paper's Figure 5
+ *    compares against conceptually, and
+ *  - the first-phase comparator ("translators using interpretation in the
+ *    first phase", section 6) for the ablation benchmarks.
+ *
+ * Guest-visible faults and software interrupts are returned as events,
+ * never thrown; the OS layer decides what happens next (Figure 3).
+ */
+
+#ifndef EL_IA32_INTERP_HH
+#define EL_IA32_INTERP_HH
+
+#include <cstdint>
+
+#include "ia32/decoder.hh"
+#include "ia32/fault.hh"
+#include "ia32/insn.hh"
+#include "ia32/state.hh"
+#include "mem/memory.hh"
+
+namespace el::ia32
+{
+
+/** What a single interpreted step produced. */
+enum class StepKind : uint8_t
+{
+    Ok,    //!< Instruction retired normally.
+    Fault, //!< Guest-visible fault; state unchanged by the instruction.
+    Int,   //!< Software interrupt (INT n); EIP already advanced.
+    Halt,  //!< HLT retired.
+};
+
+/** Result of Interpreter::step(). */
+struct StepResult
+{
+    StepKind kind = StepKind::Ok;
+    Fault fault{};        //!< Valid when kind == Fault.
+    uint8_t vector = 0;   //!< Valid when kind == Int.
+    Insn insn{};          //!< The instruction that was executed/attempted.
+};
+
+/** Executes IA-32 instructions directly against State + Memory. */
+class Interpreter
+{
+  public:
+    Interpreter(State &state, mem::Memory &memory)
+        : state_(state), mem_(memory)
+    {}
+
+    /** Decode at EIP and execute one instruction. */
+    StepResult step();
+
+    /**
+     * Execute an already-decoded instruction. EIP must equal insn.addr.
+     * Exposed so the differential tests can replay specific instructions.
+     */
+    StepResult execute(const Insn &insn);
+
+    /** Number of instructions retired so far. */
+    uint64_t retired() const { return retired_; }
+
+    State &state() { return state_; }
+    mem::Memory &memory() { return mem_; }
+
+  private:
+    /** Effective address of a MemRef under the current register state. */
+    uint32_t effAddr(const MemRef &m) const;
+
+    /** Read an operand (Gpr/Gpr8/Imm/Mem) of @p size bytes. */
+    bool readOperand(const Operand &o, unsigned size, uint32_t *val,
+                     Fault *fault);
+
+    /** Write an operand (Gpr/Gpr8/Mem) of @p size bytes. */
+    bool writeOperand(const Operand &o, unsigned size, uint32_t val,
+                      Fault *fault);
+
+    bool load(uint32_t addr, unsigned size, uint64_t *val, Fault *fault);
+    bool store(uint32_t addr, unsigned size, uint64_t val, Fault *fault);
+
+    bool push32(uint32_t val, Fault *fault);
+    bool pop32(uint32_t *val, Fault *fault);
+
+    /** x87 helpers; return false and fill @p fault on a stack fault. */
+    bool fpuCheckRead(uint8_t sti, uint32_t eip, Fault *fault);
+    bool fpuCheckPush(uint32_t eip, Fault *fault);
+
+    StepResult execInteger(const Insn &insn);
+    StepResult execX87(const Insn &insn);
+    StepResult execMmx(const Insn &insn);
+    StepResult execSse(const Insn &insn);
+    StepResult execString(const Insn &insn);
+
+    State &state_;
+    mem::Memory &mem_;
+    uint64_t retired_ = 0;
+};
+
+} // namespace el::ia32
+
+#endif // EL_IA32_INTERP_HH

@@ -1,0 +1,121 @@
+#include "ia32/regs.hh"
+
+#include "support/bitfield.hh"
+#include "support/logging.hh"
+
+namespace el::ia32
+{
+
+const char *
+regName(Reg reg, unsigned size)
+{
+    static const char *names32[] = {"eax", "ecx", "edx", "ebx",
+                                    "esp", "ebp", "esi", "edi"};
+    static const char *names16[] = {"ax", "cx", "dx", "bx",
+                                    "sp", "bp", "si", "di"};
+    if (size == 2)
+        return names16[reg & 7];
+    return names32[reg & 7];
+}
+
+const char *
+reg8Name(Reg8 reg)
+{
+    static const char *names[] = {"al", "cl", "dl", "bl",
+                                  "ah", "ch", "dh", "bh"};
+    return names[reg & 7];
+}
+
+const char *
+condName(Cond cond)
+{
+    static const char *names[] = {"o", "no", "b", "ae", "e", "ne",
+                                  "be", "a", "s", "ns", "p", "np",
+                                  "l", "ge", "le", "g"};
+    return names[static_cast<uint8_t>(cond) & 15];
+}
+
+uint32_t
+condFlagsRead(Cond cond)
+{
+    switch (cond) {
+      case Cond::O:
+      case Cond::NO:
+        return FlagOf;
+      case Cond::B:
+      case Cond::AE:
+        return FlagCf;
+      case Cond::E:
+      case Cond::NE:
+        return FlagZf;
+      case Cond::BE:
+      case Cond::A:
+        return FlagCf | FlagZf;
+      case Cond::S:
+      case Cond::NS:
+        return FlagSf;
+      case Cond::P:
+      case Cond::NP:
+        return FlagPf;
+      case Cond::L:
+      case Cond::GE:
+        return FlagSf | FlagOf;
+      case Cond::LE:
+      case Cond::G:
+        return FlagZf | FlagSf | FlagOf;
+    }
+    el_panic("bad condition code");
+}
+
+bool
+condEval(Cond cond, uint32_t eflags)
+{
+    bool cf = eflags & FlagCf;
+    bool pf = eflags & FlagPf;
+    bool zf = eflags & FlagZf;
+    bool sf = eflags & FlagSf;
+    bool of = eflags & FlagOf;
+    bool result;
+    switch (cond) {
+      case Cond::O:
+      case Cond::NO:
+        result = of;
+        break;
+      case Cond::B:
+      case Cond::AE:
+        result = cf;
+        break;
+      case Cond::E:
+      case Cond::NE:
+        result = zf;
+        break;
+      case Cond::BE:
+      case Cond::A:
+        result = cf || zf;
+        break;
+      case Cond::S:
+      case Cond::NS:
+        result = sf;
+        break;
+      case Cond::P:
+      case Cond::NP:
+        result = pf;
+        break;
+      case Cond::L:
+      case Cond::GE:
+        result = sf != of;
+        break;
+      case Cond::LE:
+      case Cond::G:
+        result = zf || (sf != of);
+        break;
+      default:
+        el_panic("bad condition code");
+    }
+    // Odd encodings are the negated forms.
+    if (static_cast<uint8_t>(cond) & 1)
+        result = !result;
+    return result;
+}
+
+} // namespace el::ia32

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * IA-32 register identifiers and EFLAGS bit definitions.
+ */
+
+#ifndef EL_IA32_REGS_HH
+#define EL_IA32_REGS_HH
+
+#include <cstdint>
+
+namespace el::ia32
+{
+
+/** The eight IA-32 general-purpose registers, in encoding order. */
+enum Reg : uint8_t
+{
+    RegEax = 0,
+    RegEcx = 1,
+    RegEdx = 2,
+    RegEbx = 3,
+    RegEsp = 4,
+    RegEbp = 5,
+    RegEsi = 6,
+    RegEdi = 7,
+    NumRegs = 8,
+};
+
+/** 8-bit register encodings (column 0-7 of the r8 table). */
+enum Reg8 : uint8_t
+{
+    RegAl = 0,
+    RegCl = 1,
+    RegDl = 2,
+    RegBl = 3,
+    RegAh = 4,
+    RegCh = 5,
+    RegDh = 6,
+    RegBh = 7,
+};
+
+/** EFLAGS bit positions. */
+enum FlagBit : unsigned
+{
+    FlagCfBit = 0,
+    FlagPfBit = 2,
+    FlagAfBit = 4,
+    FlagZfBit = 6,
+    FlagSfBit = 7,
+    FlagDfBit = 10,
+    FlagOfBit = 11,
+};
+
+/** EFLAGS masks; OR-able into flag sets. */
+enum Flag : uint32_t
+{
+    FlagCf = 1u << FlagCfBit,
+    FlagPf = 1u << FlagPfBit,
+    FlagAf = 1u << FlagAfBit,
+    FlagZf = 1u << FlagZfBit,
+    FlagSf = 1u << FlagSfBit,
+    FlagDf = 1u << FlagDfBit,
+    FlagOf = 1u << FlagOfBit,
+    /** The six arithmetic status flags (not DF). */
+    FlagsArith = FlagCf | FlagPf | FlagAf | FlagZf | FlagSf | FlagOf,
+    /** Bits in EFLAGS that always read as 1. */
+    FlagsFixed = 1u << 1,
+};
+
+/** Condition codes, in x86 "tttn" encoding order. */
+enum class Cond : uint8_t
+{
+    O = 0,   //!< overflow
+    NO = 1,
+    B = 2,   //!< below (CF)
+    AE = 3,
+    E = 4,   //!< equal (ZF)
+    NE = 5,
+    BE = 6,  //!< below or equal (CF|ZF)
+    A = 7,
+    S = 8,   //!< sign (SF)
+    NS = 9,
+    P = 10,  //!< parity (PF)
+    NP = 11,
+    L = 12,  //!< less (SF!=OF)
+    GE = 13,
+    LE = 14, //!< less or equal (ZF|(SF!=OF))
+    G = 15,
+};
+
+/** Printable name of a GPR at a given operand size (1, 2 or 4 bytes). */
+const char *regName(Reg reg, unsigned size = 4);
+
+/** Printable name of an 8-bit register encoding. */
+const char *reg8Name(Reg8 reg);
+
+/** Printable name of a condition code. */
+const char *condName(Cond cond);
+
+/** EFLAGS read by a condition code (as a Flag mask). */
+uint32_t condFlagsRead(Cond cond);
+
+/** Evaluate a condition code against an EFLAGS value. */
+bool condEval(Cond cond, uint32_t eflags);
+
+/** The condition with the opposite outcome. */
+constexpr Cond
+condNegate(Cond cond)
+{
+    return static_cast<Cond>(static_cast<uint8_t>(cond) ^ 1);
+}
+
+} // namespace el::ia32
+
+#endif // EL_IA32_REGS_HH

@@ -1,0 +1,72 @@
+#include "ia32/state.hh"
+
+#include <cmath>
+
+#include "support/strfmt.hh"
+
+namespace el::ia32
+{
+
+std::string
+State::toString() const
+{
+    std::string s;
+    static const char *names[] = {"eax", "ecx", "edx", "ebx",
+                                  "esp", "ebp", "esi", "edi"};
+    for (int i = 0; i < 8; ++i)
+        s += strfmt("%s=%08x ", names[i], gpr[i]);
+    s += strfmt("eip=%08x eflags=%08x [%c%c%c%c%c%c]", eip, eflags,
+                flag(FlagCf) ? 'C' : '-', flag(FlagPf) ? 'P' : '-',
+                flag(FlagAf) ? 'A' : '-', flag(FlagZf) ? 'Z' : '-',
+                flag(FlagSf) ? 'S' : '-', flag(FlagOf) ? 'O' : '-');
+    s += strfmt(" fpu.top=%u", fpu.top);
+    return s;
+}
+
+bool
+State::equalsArch(const State &o, std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    for (int i = 0; i < 8; ++i) {
+        if (gpr[i] != o.gpr[i]) {
+            return fail(strfmt("gpr[%d]: %08x vs %08x", i, gpr[i],
+                               o.gpr[i]));
+        }
+    }
+    if (eip != o.eip)
+        return fail(strfmt("eip: %08x vs %08x", eip, o.eip));
+    if ((eflags & FlagsArith) != (o.eflags & FlagsArith)) {
+        return fail(strfmt("eflags: %08x vs %08x", eflags & FlagsArith,
+                           o.eflags & FlagsArith));
+    }
+    if (fpu.top != o.fpu.top)
+        return fail(strfmt("fpu.top: %u vs %u", fpu.top, o.fpu.top));
+    for (int i = 0; i < 8; ++i) {
+        if (fpu.tag[i] != o.fpu.tag[i]) {
+            return fail(strfmt("fpu.tag[%d]: %u vs %u", i,
+                               static_cast<unsigned>(fpu.tag[i]),
+                               static_cast<unsigned>(o.fpu.tag[i])));
+        }
+        if (fpu.tag[i] == FpTag::Valid) {
+            long double a = fpu.st[i];
+            long double b = o.fpu.st[i];
+            bool equal = (a == b) || (std::isnan(static_cast<double>(a)) &&
+                                      std::isnan(static_cast<double>(b)));
+            if (!equal) {
+                return fail(strfmt("fpu.st[%d]: %Lg vs %Lg", i, a, b));
+            }
+        }
+    }
+    for (int i = 0; i < 8; ++i) {
+        if (!(xmm[i] == o.xmm[i]))
+            return fail(strfmt("xmm[%d] differs", i));
+    }
+    return true;
+}
+
+} // namespace el::ia32

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Architectural IA-32 state: GPRs, EIP, EFLAGS, the x87 FP stack (with
+ * TOS and TAG), the MMX registers aliased onto the FP significands, and
+ * the eight XMM registers.
+ *
+ * This structure is both the interpreter's live state and the "canonic"
+ * IA-32 state that the translator must be able to reconstruct precisely
+ * at any faulting instruction (paper section 4). The same layout is used
+ * when comparing a translated run against the interpreter oracle.
+ */
+
+#ifndef EL_IA32_STATE_HH
+#define EL_IA32_STATE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "ia32/fault.hh"
+#include "ia32/regs.hh"
+
+namespace el::ia32
+{
+
+/** x87 tag state for one physical stack slot (2-state simplification). */
+enum class FpTag : uint8_t
+{
+    Empty = 0,
+    Valid = 1,
+};
+
+/**
+ * The x87 FPU + MMX state.
+ *
+ * Physical slots are addressed 0..7; ST(i) resolves to slot
+ * (top + i) mod 8. The MMX registers alias the 64-bit significands of
+ * the physical slots in their fixed positions (MM0 = slot 0), matching
+ * Figure 4 and the aliasing rules in section 5.
+ */
+struct FpuState
+{
+    std::array<long double, 8> st{}; //!< Physical slots (80-bit extended).
+    std::array<FpTag, 8> tag{};
+    uint8_t top = 0;                 //!< Top-of-stack (TOS) field.
+    uint16_t control = 0x037f;       //!< FPU control word (all masked).
+    uint16_t status = 0;             //!< C0..C3 condition bits live here.
+
+    /** Physical slot index of ST(i). */
+    uint8_t phys(uint8_t sti) const { return (top + sti) & 7; }
+
+    bool isEmpty(uint8_t sti) const
+    {
+        return tag[phys(sti)] == FpTag::Empty;
+    }
+
+    /** Read ST(i); caller must have checked the tag. */
+    long double readSt(uint8_t sti) const { return st[phys(sti)]; }
+
+    /** Write ST(i) and mark it valid. */
+    void
+    writeSt(uint8_t sti, long double v)
+    {
+        st[phys(sti)] = v;
+        tag[phys(sti)] = FpTag::Valid;
+    }
+
+    /** Decrement TOS (stack push direction). */
+    void pushTop() { top = (top + 7) & 7; }
+
+    /** Mark ST(0) empty and increment TOS (stack pop). */
+    void
+    popTop()
+    {
+        tag[top] = FpTag::Empty;
+        top = (top + 1) & 7;
+    }
+
+    /** Read MMX register i: the 64-bit significand of physical slot i. */
+    uint64_t
+    readMm(uint8_t i) const
+    {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &st[i & 7], 8); // x86 long double: low 8 bytes
+        return bits;                       // are the significand.
+    }
+
+    /**
+     * Write MMX register i. Per the IA-32 aliasing rules this writes the
+     * significand, sets the exponent field to all ones, marks every slot
+     * valid and resets TOS to 0.
+     */
+    void
+    writeMm(uint8_t i, uint64_t bits)
+    {
+        uint8_t raw[16] = {};
+        std::memcpy(raw, &bits, 8);
+        raw[8] = 0xff;
+        raw[9] = 0xff; // exponent + sign := 0x7fff | sign bit set too
+        std::memcpy(&st[i & 7], raw, sizeof(long double) <= 16 ? 10 : 10);
+        for (auto &t : tag)
+            t = FpTag::Valid;
+        top = 0;
+    }
+
+    /** FNINIT semantics: empty the stack, reset words. */
+    void
+    init()
+    {
+        st.fill(0.0L);
+        tag.fill(FpTag::Empty);
+        top = 0;
+        control = 0x037f;
+        status = 0;
+    }
+
+    /** Status word with the TOP field folded in (FNSTSW view). */
+    uint16_t
+    statusWord() const
+    {
+        return static_cast<uint16_t>((status & ~0x3800u) |
+                                     ((top & 7u) << 11));
+    }
+};
+
+/** One 128-bit XMM register with typed lane accessors. */
+struct XmmReg
+{
+    std::array<uint8_t, 16> bytes{};
+
+    float
+    f32(unsigned lane) const
+    {
+        float v;
+        std::memcpy(&v, &bytes[lane * 4], 4);
+        return v;
+    }
+
+    void
+    setF32(unsigned lane, float v)
+    {
+        std::memcpy(&bytes[lane * 4], &v, 4);
+    }
+
+    double
+    f64(unsigned lane) const
+    {
+        double v;
+        std::memcpy(&v, &bytes[lane * 8], 8);
+        return v;
+    }
+
+    void
+    setF64(unsigned lane, double v)
+    {
+        std::memcpy(&bytes[lane * 8], &v, 8);
+    }
+
+    uint32_t
+    u32(unsigned lane) const
+    {
+        uint32_t v;
+        std::memcpy(&v, &bytes[lane * 4], 4);
+        return v;
+    }
+
+    void
+    setU32(unsigned lane, uint32_t v)
+    {
+        std::memcpy(&bytes[lane * 4], &v, 4);
+    }
+
+    uint64_t
+    u64(unsigned lane) const
+    {
+        uint64_t v;
+        std::memcpy(&v, &bytes[lane * 8], 8);
+        return v;
+    }
+
+    void
+    setU64(unsigned lane, uint64_t v)
+    {
+        std::memcpy(&bytes[lane * 8], &v, 8);
+    }
+
+    bool operator==(const XmmReg &o) const { return bytes == o.bytes; }
+};
+
+/** Complete user-visible IA-32 architectural state. */
+struct State
+{
+    std::array<uint32_t, NumRegs> gpr{};
+    uint32_t eip = 0;
+    uint32_t eflags = FlagsFixed;
+    FpuState fpu;
+    std::array<XmmReg, 8> xmm{};
+    uint32_t mxcsr = 0x1f80; //!< SSE control/status (all masked).
+
+    /** Read a GPR at operand size 2 or 4. */
+    uint32_t
+    readGpr(Reg r, unsigned size = 4) const
+    {
+        uint32_t v = gpr[r];
+        return size == 4 ? v : (v & 0xffff);
+    }
+
+    /** Write a GPR at operand size 2 or 4 (partial writes merge). */
+    void
+    writeGpr(Reg r, uint32_t v, unsigned size = 4)
+    {
+        if (size == 4)
+            gpr[r] = v;
+        else
+            gpr[r] = (gpr[r] & 0xffff0000u) | (v & 0xffffu);
+    }
+
+    /** Read an 8-bit register (AL..BH encoding). */
+    uint8_t
+    readGpr8(uint8_t enc) const
+    {
+        if (enc < 4)
+            return static_cast<uint8_t>(gpr[enc]);
+        return static_cast<uint8_t>(gpr[enc - 4] >> 8);
+    }
+
+    /** Write an 8-bit register (AL..BH encoding). */
+    void
+    writeGpr8(uint8_t enc, uint8_t v)
+    {
+        if (enc < 4)
+            gpr[enc] = (gpr[enc] & 0xffffff00u) | v;
+        else
+            gpr[enc - 4] = (gpr[enc - 4] & 0xffff00ffu) |
+                           (static_cast<uint32_t>(v) << 8);
+    }
+
+    bool flag(Flag f) const { return eflags & f; }
+
+    void
+    setFlag(Flag f, bool v)
+    {
+        if (v)
+            eflags |= f;
+        else
+            eflags &= ~static_cast<uint32_t>(f);
+    }
+
+    /** Overwrite the six arithmetic flags from @p value. */
+    void
+    setArithFlags(uint32_t value)
+    {
+        eflags = (eflags & ~FlagsArith) | (value & FlagsArith) | FlagsFixed;
+    }
+
+    /** Render the integer state for diagnostics. */
+    std::string toString() const;
+
+    /**
+     * Architectural equality used by the differential tests: integer
+     * state, arithmetic flags, FP stack contents (valid slots only),
+     * TOS/TAG, and XMM registers.
+     */
+    bool equalsArch(const State &o, std::string *why = nullptr) const;
+};
+
+} // namespace el::ia32
+
+#endif // EL_IA32_STATE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Instruction bundling.
+ *
+ * Real Itanium code is packaged into 128-bit bundles of three slots
+ * chosen from a fixed template set (MII, MMI, MFI, MIB, MLX, ...). The
+ * machine's dispersal timing uses the issue-group model directly, but
+ * bundling still matters for code-size statistics ("ILs are ordered and
+ * bundled according to architectural limitations", section 2), so the
+ * scheduler calls this packer and the benchmarks report bundle counts
+ * and nop-padding waste.
+ */
+
+#ifndef EL_IPF_BUNDLE_HH
+#define EL_IPF_BUNDLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ipf/code_cache.hh"
+#include "ipf/insn.hh"
+
+namespace el::ipf
+{
+
+/** Result of packing one instruction sequence into bundles. */
+struct BundleStats
+{
+    uint64_t bundles = 0;
+    uint64_t real_slots = 0; //!< Slots holding real instructions.
+    uint64_t nop_slots = 0;  //!< Padding slots.
+
+    /** Fraction of slots wasted on padding. */
+    double
+    padFraction() const
+    {
+        uint64_t total = real_slots + nop_slots;
+        return total ? static_cast<double>(nop_slots) / total : 0.0;
+    }
+};
+
+/**
+ * Pack the instructions [begin, end) of @p code into bundles, honouring
+ * stop bits (a group never shares a bundle with the next group unless a
+ * mid-bundle stop template exists for it — modelled by simply ending the
+ * bundle at every stop).
+ */
+BundleStats packBundles(const CodeCache &code, int64_t begin, int64_t end);
+
+} // namespace el::ipf
+
+#endif // EL_IPF_BUNDLE_HH

@@ -1,0 +1,47 @@
+#include "ipf/code_cache.hh"
+
+#include "support/logging.hh"
+
+namespace el::ipf
+{
+
+void
+CodeCache::patchToBranch(int64_t idx, int64_t target)
+{
+    el_assert(idx >= 0 && idx < nextIndex(), "patch out of range");
+    Instr &i = code_[idx];
+    el_assert(i.op == IpfOp::Exit, "patching a non-exit instruction");
+    ExitReason old_reason = i.exit_reason;
+    el_assert(old_reason == ExitReason::LinkMiss,
+              "patching a non-link exit (%u)",
+              static_cast<unsigned>(old_reason));
+    i.op = IpfOp::Br;
+    i.target = target;
+    i.exit_reason = ExitReason::None;
+    i.exit_payload = 0;
+}
+
+void
+CodeCache::invalidateEntry(int64_t idx, ExitReason reason, int64_t payload)
+{
+    el_assert(idx >= 0 && idx < nextIndex(), "invalidate out of range");
+    Instr &i = code_[idx];
+    i.op = IpfOp::Exit;
+    i.qp = 0;
+    i.exit_reason = reason;
+    i.exit_payload = payload;
+    i.target = -1;
+    i.stop = true;
+}
+
+uint64_t
+CodeCache::countBucket(Bucket bucket) const
+{
+    uint64_t n = 0;
+    for (const Instr &i : code_)
+        if (i.meta.bucket == bucket)
+            ++n;
+    return n;
+}
+
+} // namespace el::ipf

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The translation code cache.
+ *
+ * Holds the IPF instructions emitted by the translator. Instruction
+ * addresses are indices into one growing vector (a simulator-friendly
+ * stand-in for a real code cache's byte addresses). Supports the two
+ * patching operations the paper describes:
+ *  - converting an exit-to-translator stub into a direct branch once the
+ *    target block is translated ("connect predecessors"), and
+ *  - invalidating a block (SMC / misalignment regeneration / GC) by
+ *    turning its entry into a Resync exit.
+ */
+
+#ifndef EL_IPF_CODE_CACHE_HH
+#define EL_IPF_CODE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ipf/insn.hh"
+
+namespace el::ipf
+{
+
+/** Growing container of translated IPF code with patch support. */
+class CodeCache
+{
+  public:
+    /** Append one instruction; returns its index. */
+    int64_t
+    emit(const Instr &instr)
+    {
+        code_.push_back(instr);
+        return static_cast<int64_t>(code_.size()) - 1;
+    }
+
+    /** Current end-of-cache index (where the next block will start). */
+    int64_t nextIndex() const { return static_cast<int64_t>(code_.size()); }
+
+    size_t size() const { return code_.size(); }
+
+    const Instr &at(int64_t idx) const { return code_[idx]; }
+    Instr &at(int64_t idx) { return code_[idx]; }
+
+    /**
+     * Patch the exit stub at @p idx into a direct branch to @p target.
+     * Used when a block's successor becomes available.
+     */
+    void patchToBranch(int64_t idx, int64_t target);
+
+    /**
+     * Invalidate the block entry at @p idx: further executions exit to
+     * the translator with @p reason.
+     */
+    void invalidateEntry(int64_t idx, ExitReason reason, int64_t payload);
+
+    /** Total instructions emitted with each bucket tag (code-size stats). */
+    uint64_t countBucket(Bucket bucket) const;
+
+  private:
+    std::vector<Instr> code_;
+};
+
+} // namespace el::ipf
+
+#endif // EL_IPF_CODE_CACHE_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The IPF machine model: functional execution plus cycle-approximate
+ * EPIC timing.
+ *
+ * Functional side: 128 general registers with NaT bits, 64 FP registers,
+ * 64 predicates, 8 branch registers. Instructions execute sequentially,
+ * but the scheduler guarantees no intra-group dependencies, so sequential
+ * execution equals the architectural parallel semantics (a debug mode
+ * verifies this property).
+ *
+ * Timing side: instruction groups delimited by stop bits issue in order;
+ * a group occupies max(structural, 1) cycles and stalls until its source
+ * registers' producing latencies have elapsed. Memory operations consult
+ * the Itanium-2-like cache model. Misaligned accesses take the
+ * OS-assisted fault path and cost thousands of cycles (section 5's
+ * premise). Every cycle is attributed to the executing instruction's
+ * bucket (hot/cold/overhead/native/idle) so Figures 6 and 7 are measured
+ * rather than assumed.
+ *
+ * Control speculation: ld.s defers faults by setting the target's NaT
+ * bit; NaT propagates through ALU ops; chk.s branches to recovery code
+ * when it sees a NaT. This is the hardware mechanism section 4's commit
+ * points lean on.
+ */
+
+#ifndef EL_IPF_MACHINE_HH
+#define EL_IPF_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "ipf/code_cache.hh"
+#include "ipf/regs.hh"
+#include "mem/cache_model.hh"
+#include "mem/memory.hh"
+
+namespace el::ipf
+{
+
+/** One FP register: an 82-bit-register model with two synchronized views. */
+struct Fr
+{
+    long double val = 0.0L; //!< Scalar FP view.
+    uint64_t bits = 0;      //!< Significand / packed view.
+    bool is_bits = false;   //!< True when last written as raw bits.
+
+    /** Write as a scalar FP value (keeps the significand view in sync). */
+    void
+    setVal(long double v)
+    {
+        val = v;
+        std::memcpy(&bits, &v, 8); // x86 long double: significand first
+        is_bits = false;
+    }
+
+    /** Write as raw 64-bit data (integer/packed content). */
+    void
+    setBits(uint64_t b)
+    {
+        bits = b;
+        is_bits = true;
+    }
+
+    /**
+     * Scalar FP view. When the register holds raw bits, assemble the
+     * 80-bit pattern {sign=1, exp=all-ones, significand=bits}, matching
+     * what an MMX write does to an aliased x87 register.
+     */
+    long double
+    valView() const
+    {
+        if (!is_bits)
+            return val;
+        uint8_t raw[16] = {};
+        std::memcpy(raw, &bits, 8);
+        raw[8] = 0xff;
+        raw[9] = 0xff;
+        long double out;
+        std::memcpy(&out, raw, 10);
+        return out;
+    }
+
+    /** Raw 64-bit view (always valid). */
+    uint64_t bitsView() const { return bits; }
+};
+
+/** Why the machine stopped. */
+enum class StopKind : uint8_t
+{
+    Exit,        //!< An Exit instruction executed (translator service).
+    MemFault,    //!< Unmapped/protected access in translated code.
+    CycleLimit,  //!< Budget exhausted (runaway guard).
+    BadIp,       //!< Jumped outside the code cache.
+};
+
+/** Description of a machine stop. */
+struct StopInfo
+{
+    StopKind kind = StopKind::Exit;
+    ExitReason reason = ExitReason::None;
+    int64_t payload = 0;
+    int64_t instr_index = -1;  //!< Code-cache index of the stopping op.
+    uint64_t fault_addr = 0;   //!< For MemFault.
+    bool fault_is_write = false;
+};
+
+/** Timing parameters (defaults approximate a 1GHz Itanium 2). */
+struct MachineConfig
+{
+    unsigned lat_alu = 1;
+    unsigned lat_mul = 2;        //!< shladd chains / parallel ops
+    unsigned lat_ld = 1;         //!< added on top of cache latency
+    unsigned lat_fp = 4;
+    unsigned lat_fdiv = 24;      //!< frcpa + Newton pseudo-op
+    unsigned lat_getf = 5;       //!< FR<->GR moves are slow (the paper's
+    unsigned lat_setf = 5;       //!< reason MMX aliasing needs care)
+    unsigned br_taken_bubble = 1;
+    unsigned br_indirect_penalty = 6;
+    unsigned misalign_penalty = 2000; //!< OS-assisted unaligned fix-up.
+    bool verify_groups = false;  //!< Check no intra-group RAW/WAW deps.
+};
+
+/** Per-bucket cycle and instruction accounting. */
+struct BucketStats
+{
+    std::array<double, static_cast<size_t>(Bucket::NumBuckets)> cycles{};
+    std::array<uint64_t, static_cast<size_t>(Bucket::NumBuckets)> insns{};
+
+    double
+    totalCycles() const
+    {
+        double t = 0;
+        for (double c : cycles)
+            t += c;
+        return t;
+    }
+};
+
+/** The IPF machine. */
+class Machine
+{
+  public:
+    Machine(CodeCache &cache, mem::Memory &memory, MachineConfig cfg = {})
+        : code_(cache), mem_(memory), cfg_(cfg),
+          dcache_(mem::CacheModel::itanium2())
+    {
+        reset();
+    }
+
+    /** Reset register state (not statistics). */
+    void reset();
+
+    /**
+     * Run from code-cache index @p entry until the code exits, faults,
+     * or @p max_cycles have elapsed.
+     */
+    StopInfo run(int64_t entry, uint64_t max_cycles = ~0ULL);
+
+    // ----- register access (used by the runtime for state exchange) ---
+    uint64_t gr(unsigned idx) const { return grs_[idx]; }
+    void setGr(unsigned idx, uint64_t v) { grs_[idx] = v; nats_[idx] = false; }
+    bool grNat(unsigned idx) const { return nats_[idx]; }
+    const Fr &fr(unsigned idx) const { return frs_[idx]; }
+    Fr &fr(unsigned idx) { return frs_[idx]; }
+    bool pr(unsigned idx) const { return prs_[idx]; }
+    void setPr(unsigned idx, bool v) { prs_[idx] = idx == 0 ? true : v; }
+    uint64_t br(unsigned idx) const { return brs_[idx]; }
+    void setBr(unsigned idx, uint64_t v) { brs_[idx] = v; }
+
+    // ----- statistics -------------------------------------------------
+    const BucketStats &stats() const { return stats_; }
+    BucketStats &stats() { return stats_; }
+    uint64_t retired() const { return retired_; }
+    uint64_t misalignedAccesses() const { return misaligned_; }
+    mem::CacheModel &dcache() { return dcache_; }
+
+    /** Charge synthetic cycles (translator overhead, native time, idle). */
+    void
+    chargeCycles(Bucket bucket, double cycles)
+    {
+        stats_.cycles[static_cast<size_t>(bucket)] += cycles;
+    }
+
+    double totalCycles() const { return stats_.totalCycles(); }
+
+    const MachineConfig &config() const { return cfg_; }
+    MachineConfig &config() { return cfg_; }
+
+  private:
+    /** Execute one instruction functionally. Returns false on stop. */
+    bool execute(const Instr &i, StopInfo *stop);
+
+    /** Close the current timing group. */
+    void closeGroup();
+
+    /** Charge a group's structural cost and source stalls. */
+    void accountInstr(const Instr &i);
+
+    CodeCache &code_;
+    mem::Memory &mem_;
+    MachineConfig cfg_;
+    mem::CacheModel dcache_;
+
+    std::array<uint64_t, num_grs> grs_{};
+    std::array<bool, num_grs> nats_{};
+    std::array<Fr, num_frs> frs_{};
+    std::array<bool, num_prs> prs_{};
+    std::array<uint64_t, num_brs> brs_{};
+
+    int64_t ip_ = 0;
+    bool branched_ = false; //!< Taken branch in the current group.
+
+    // Timing state.
+    double cycle_ = 0.0;
+    std::array<double, num_grs> gr_ready_{};
+    std::array<double, num_frs> fr_ready_{};
+    // Current-group accumulation.
+    unsigned grp_m_ = 0, grp_i_ = 0, grp_f_ = 0, grp_b_ = 0, grp_a_ = 0;
+    unsigned grp_total_ = 0;
+    double grp_stall_ = 0.0;
+    double grp_extra_ = 0.0; //!< memory/branch penalties inside the group
+    Bucket grp_bucket_ = Bucket::Cold;
+    bool grp_open_ = false;
+    // Group verification (debug).
+    std::array<int8_t, num_grs> grp_gr_writer_{};
+    std::array<int8_t, num_frs> grp_fr_writer_{};
+
+    BucketStats stats_;
+    uint64_t retired_ = 0;
+    uint64_t misaligned_ = 0;
+};
+
+} // namespace el::ipf
+
+#endif // EL_IPF_MACHINE_HH

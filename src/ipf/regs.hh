@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Register conventions used by the translated code.
+ *
+ * IA-32 EL "allocates the entire 96-register stack" and runs all
+ * translated code in one frame (section 3, footnote 4); this header fixes
+ * how the guest state maps onto that frame. The cold translator and the
+ * hot translator's renamer both honour these assignments, and the state
+ * reconstruction logic (section 4) reads guest registers back out of
+ * them.
+ */
+
+#ifndef EL_IPF_REGS_HH
+#define EL_IPF_REGS_HH
+
+#include <cstdint>
+
+namespace el::ipf
+{
+
+// ----- general registers ----------------------------------------------
+
+constexpr uint8_t gr_zero = 0;      //!< r0: hardwired zero.
+constexpr uint8_t gr_rt_base = 1;   //!< r1: runtime data area pointer.
+constexpr uint8_t gr_t0 = 2;        //!< r2/r3: template scratch.
+constexpr uint8_t gr_t1 = 3;
+
+/** r8..r15 hold the guest GPRs eax..edi (zero-extended to 64 bits). */
+constexpr uint8_t gr_guest_base = 8;
+
+/** r16: the "IA-32 state register" of section 4 (cold code). */
+constexpr uint8_t gr_state = 16;
+
+/** r17..r22 hold the lazy EFLAGS bits CF, PF, AF, ZF, SF, OF as 0/1. */
+constexpr uint8_t gr_flag_base = 17;
+constexpr uint8_t gr_flag_cf = 17;
+constexpr uint8_t gr_flag_pf = 18;
+constexpr uint8_t gr_flag_af = 19;
+constexpr uint8_t gr_flag_zf = 20;
+constexpr uint8_t gr_flag_sf = 21;
+constexpr uint8_t gr_flag_of = 22;
+
+/** r23: direction flag (DF) as 0/1. */
+constexpr uint8_t gr_flag_df = 23;
+
+/** r24..r31: additional template scratch (addresses, partial values). */
+constexpr uint8_t gr_scratch_base = 24;
+constexpr unsigned gr_scratch_count = 8;
+
+/** r32..r39: MMX registers MM0..MM7 (integer-register MMX model). */
+constexpr uint8_t gr_mmx_base = 32;
+
+/** r40..r55: XMM packed-integer homes, two GRs per register. */
+constexpr uint8_t gr_xmm_base = 40;
+
+/** r56..r127: hot-code renaming pool. */
+constexpr uint8_t gr_rename_base = 56;
+constexpr unsigned gr_rename_count = 72;
+
+constexpr unsigned num_grs = 128;
+
+// ----- floating-point registers ------------------------------------------
+
+constexpr uint8_t fr_zero = 0;  //!< f0 = +0.0 (hardwired).
+constexpr uint8_t fr_one = 1;   //!< f1 = +1.0 (hardwired).
+constexpr uint8_t fr_t0 = 6;    //!< f6/f7 scratch.
+constexpr uint8_t fr_t1 = 7;
+
+/** f8..f15: the x87 physical stack slots 0..7. */
+constexpr uint8_t fr_fpstack_base = 8;
+
+/** f16..f31: XMM FP homes, two FRs per register (lo, hi). */
+constexpr uint8_t fr_xmm_base = 16;
+
+/** f32..f63: hot-code FP renaming pool. */
+constexpr uint8_t fr_rename_base = 32;
+constexpr unsigned fr_rename_count = 32;
+
+constexpr unsigned num_frs = 64;
+
+// ----- predicates ----------------------------------------------------------
+
+constexpr uint8_t pr_true = 0;  //!< p0: always true.
+constexpr uint8_t pr_t0 = 1;    //!< p1..p5: template scratch.
+constexpr uint8_t pr_t1 = 2;
+constexpr uint8_t pr_t2 = 3;
+constexpr uint8_t pr_t3 = 4;
+constexpr uint8_t pr_t4 = 5;
+
+/** p6..p15: cold-code compare targets. */
+constexpr uint8_t pr_cold_base = 6;
+
+/** p16..p63: hot-code predicate pool (if-conversion, misalignment). */
+constexpr uint8_t pr_rename_base = 16;
+constexpr unsigned pr_rename_count = 48;
+
+constexpr unsigned num_prs = 64;
+
+// ----- branch registers ---------------------------------------------------
+
+constexpr uint8_t br_ret = 0;
+constexpr uint8_t br_ind = 6; //!< indirect-branch target register.
+constexpr unsigned num_brs = 8;
+
+/** GR holding guest GPR @p reg (0..7 = eax..edi). */
+constexpr uint8_t
+grForGuest(unsigned reg)
+{
+    return static_cast<uint8_t>(gr_guest_base + (reg & 7));
+}
+
+/** GR holding MMX register @p i. */
+constexpr uint8_t
+grForMmx(unsigned i)
+{
+    return static_cast<uint8_t>(gr_mmx_base + (i & 7));
+}
+
+/** GR pair base for XMM register @p i in the packed-integer domain. */
+constexpr uint8_t
+grForXmm(unsigned i, unsigned half)
+{
+    return static_cast<uint8_t>(gr_xmm_base + (i & 7) * 2 + (half & 1));
+}
+
+/** FR holding x87 physical slot @p phys (0..7). */
+constexpr uint8_t
+frForFpSlot(unsigned phys)
+{
+    return static_cast<uint8_t>(fr_fpstack_base + (phys & 7));
+}
+
+/** FR pair member for XMM register @p i in an FP domain. */
+constexpr uint8_t
+frForXmm(unsigned i, unsigned half)
+{
+    return static_cast<uint8_t>(fr_xmm_base + (i & 7) * 2 + (half & 1));
+}
+
+} // namespace el::ipf
+
+#endif // EL_IPF_REGS_HH

@@ -1,0 +1,119 @@
+#include "mem/cache_model.hh"
+
+#include "support/logging.hh"
+
+namespace el::mem
+{
+
+CacheModel::CacheModel(std::vector<CacheLevelConfig> levels,
+                       unsigned mem_latency)
+    : configs_(std::move(levels)), mem_latency_(mem_latency)
+{
+    for (const auto &cfg : configs_) {
+        el_assert(cfg.line && (cfg.line & (cfg.line - 1)) == 0,
+                  "line size must be a power of 2");
+        Level lvl;
+        lvl.cfg = cfg;
+        lvl.n_sets = cfg.size / (cfg.line * cfg.assoc);
+        el_assert(lvl.n_sets > 0, "cache level %s too small",
+                  cfg.name.c_str());
+        lvl.ways.resize(lvl.n_sets * cfg.assoc);
+        levels_.push_back(std::move(lvl));
+        stats_.emplace_back();
+    }
+}
+
+CacheModel
+CacheModel::itanium2()
+{
+    return CacheModel({
+        {"L1D", 16 * 1024, 64, 4, 1},
+        {"L2", 256 * 1024, 128, 8, 5},
+        {"L3", 3 * 1024 * 1024, 128, 12, 12},
+    }, 120);
+}
+
+CacheModel
+CacheModel::xeon()
+{
+    return CacheModel({
+        {"L1D", 8 * 1024, 64, 4, 1},
+        {"L2", 512 * 1024, 64, 8, 7},
+    }, 180);
+}
+
+unsigned
+CacheModel::accessLine(uint64_t line_addr)
+{
+    ++tick_;
+    // Find the first level that hits; fill every level above it.
+    for (size_t li = 0; li < levels_.size(); ++li) {
+        Level &lvl = levels_[li];
+        ++stats_[li].accesses;
+        uint64_t set = (line_addr / lvl.cfg.line) % lvl.n_sets;
+        uint64_t tag = line_addr / lvl.cfg.line / lvl.n_sets;
+        Way *base = &lvl.ways[set * lvl.cfg.assoc];
+        Way *victim = base;
+        bool hit = false;
+        for (unsigned w = 0; w < lvl.cfg.assoc; ++w) {
+            Way &way = base[w];
+            if (way.valid && way.tag == tag) {
+                way.lru = tick_;
+                hit = true;
+                break;
+            }
+            if (!way.valid || way.lru < victim->lru)
+                victim = &base[w];
+        }
+        if (hit) {
+            // Fill all closer levels.
+            for (size_t fi = 0; fi < li; ++fi) {
+                Level &f = levels_[fi];
+                uint64_t fset = (line_addr / f.cfg.line) % f.n_sets;
+                uint64_t ftag = line_addr / f.cfg.line / f.n_sets;
+                Way *fbase = &f.ways[fset * f.cfg.assoc];
+                Way *fvic = fbase;
+                for (unsigned w = 0; w < f.cfg.assoc; ++w) {
+                    if (!fbase[w].valid || fbase[w].lru < fvic->lru)
+                        fvic = &fbase[w];
+                }
+                fvic->valid = true;
+                fvic->tag = ftag;
+                fvic->lru = tick_;
+            }
+            return lvl.cfg.hit_latency;
+        }
+        ++stats_[li].misses;
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lru = tick_;
+    }
+    return mem_latency_;
+}
+
+unsigned
+CacheModel::access(uint64_t addr, unsigned size)
+{
+    if (levels_.empty())
+        return 0;
+    uint64_t line = levels_[0].cfg.line;
+    uint64_t first = addr / line;
+    uint64_t last = (addr + (size ? size - 1 : 0)) / line;
+    unsigned lat = accessLine(first * line);
+    if (last != first)
+        lat += accessLine(last * line);
+    return lat;
+}
+
+void
+CacheModel::reset()
+{
+    for (auto &lvl : levels_)
+        for (auto &way : lvl.ways)
+            way = Way{};
+    for (auto &s : stats_)
+        s = CacheLevelStats{};
+    tick_ = 0;
+}
+
+} // namespace el::mem

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Multi-level cache cost model.
+ *
+ * This is a timing-only model: it never holds data, it just tracks which
+ * lines would be resident in a set-associative LRU hierarchy and charges
+ * latency for the level that hits. Both machine models (the IPF machine
+ * the translated code runs on, and the direct-execution IA-32 cost model
+ * used as the Figure-8 baseline) own one instance each.
+ *
+ * The level parameters default to the platforms the paper measured on:
+ * the Itanium 2 configuration matches the paper's "1GHz Itanium 2 with
+ * 3MB L3"; the Xeon configuration approximates the 1.6GHz Xeon baseline.
+ */
+
+#ifndef EL_MEM_CACHE_MODEL_HH
+#define EL_MEM_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace el::mem
+{
+
+/** Parameters of one cache level. */
+struct CacheLevelConfig
+{
+    std::string name;      //!< e.g. "L1D".
+    uint64_t size;         //!< Total bytes.
+    uint64_t line;         //!< Line size in bytes (power of 2).
+    unsigned assoc;        //!< Ways per set.
+    unsigned hit_latency;  //!< Cycles charged when this level hits.
+};
+
+/** Statistics for one cache level. */
+struct CacheLevelStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+};
+
+/** A timing-only, inclusive, set-associative LRU cache hierarchy. */
+class CacheModel
+{
+  public:
+    /**
+     * @param levels Cache levels ordered from closest to the core.
+     * @param mem_latency Cycles charged when every level misses.
+     */
+    CacheModel(std::vector<CacheLevelConfig> levels, unsigned mem_latency);
+
+    /** Itanium-2-like hierarchy (16K L1D / 256K L2 / 3M L3). */
+    static CacheModel itanium2();
+
+    /** Xeon-like hierarchy (8K L1D / 512K L2). */
+    static CacheModel xeon();
+
+    /**
+     * Model one data access.
+     *
+     * @param addr Byte address.
+     * @param size Access size in bytes (accesses spanning two lines touch
+     *             both).
+     * @return Latency in cycles for the access.
+     */
+    unsigned access(uint64_t addr, unsigned size);
+
+    /** Per-level statistics, parallel to the configured levels. */
+    const std::vector<CacheLevelStats> &stats() const { return stats_; }
+
+    /** Configured levels. */
+    const std::vector<CacheLevelConfig> &levels() const { return configs_; }
+
+    /** Drop all resident lines and statistics. */
+    void reset();
+
+  private:
+    struct Way
+    {
+        uint64_t tag = ~0ULL;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    struct Level
+    {
+        CacheLevelConfig cfg;
+        uint64_t n_sets;
+        std::vector<Way> ways; //!< n_sets * assoc, row-major by set.
+    };
+
+    /** Look up one line address; returns hit latency or full-miss chain. */
+    unsigned accessLine(uint64_t line_addr);
+
+    std::vector<CacheLevelConfig> configs_;
+    std::vector<Level> levels_;
+    std::vector<CacheLevelStats> stats_;
+    unsigned mem_latency_;
+    uint64_t tick_ = 0;
+};
+
+} // namespace el::mem
+
+#endif // EL_MEM_CACHE_MODEL_HH

@@ -1,0 +1,205 @@
+#include "mem/memory.hh"
+
+#include <cstring>
+
+#include "support/bitfield.hh"
+#include "support/logging.hh"
+
+namespace el::mem
+{
+
+void
+Memory::map(uint64_t addr, uint64_t len, Perm perm)
+{
+    uint64_t first = alignDown(addr, page_size);
+    uint64_t last = alignUp(addr + len, page_size);
+    for (uint64_t a = first; a < last; a += page_size) {
+        auto &slot = pages_[a / page_size];
+        if (!slot)
+            slot = std::make_unique<Page>();
+        slot->perm = perm;
+    }
+}
+
+void
+Memory::unmap(uint64_t addr, uint64_t len)
+{
+    uint64_t first = alignDown(addr, page_size);
+    uint64_t last = alignUp(addr + len, page_size);
+    for (uint64_t a = first; a < last; a += page_size)
+        pages_.erase(a / page_size);
+}
+
+void
+Memory::protect(uint64_t addr, uint64_t len, Perm perm)
+{
+    uint64_t first = alignDown(addr, page_size);
+    uint64_t last = alignUp(addr + len, page_size);
+    for (uint64_t a = first; a < last; a += page_size) {
+        if (Page *p = find(a))
+            p->perm = perm;
+    }
+}
+
+bool
+Memory::check(uint64_t addr, uint64_t len, Perm perm) const
+{
+    uint64_t first = alignDown(addr, page_size);
+    uint64_t last = alignUp(addr + len, page_size);
+    for (uint64_t a = first; a < last; a += page_size) {
+        const Page *p = find(a);
+        if (!p || (p->perm & perm) != perm)
+            return false;
+    }
+    return true;
+}
+
+Memory::Page *
+Memory::find(uint64_t addr)
+{
+    auto it = pages_.find(addr / page_size);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+const Memory::Page *
+Memory::find(uint64_t addr) const
+{
+    auto it = pages_.find(addr / page_size);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+AccessResult
+Memory::accessConst(uint64_t addr, void *buf, uint64_t len, bool check_perm,
+                    Perm perm) const
+{
+    uint8_t *out = static_cast<uint8_t *>(buf);
+    uint64_t done = 0;
+    while (done < len) {
+        uint64_t a = addr + done;
+        const Page *p = find(a);
+        if (!p)
+            return {AccessError::Unmapped, a};
+        if (check_perm && (p->perm & perm) != perm)
+            return {AccessError::Protection, a};
+        uint64_t off = a % page_size;
+        uint64_t chunk = std::min(len - done, page_size - off);
+        std::memcpy(out + done, p->data.data() + off, chunk);
+        done += chunk;
+    }
+    return {};
+}
+
+AccessResult
+Memory::access(uint64_t addr, void *buf, uint64_t len, bool write,
+               bool check_perm, Perm perm)
+{
+    if (!write)
+        return accessConst(addr, buf, len, check_perm, perm);
+    const uint8_t *src = static_cast<const uint8_t *>(buf);
+    uint64_t done = 0;
+    while (done < len) {
+        uint64_t a = addr + done;
+        Page *p = find(a);
+        if (!p)
+            return {AccessError::Unmapped, a};
+        if (check_perm && (p->perm & perm) != perm)
+            return {AccessError::Protection, a};
+        uint64_t off = a % page_size;
+        uint64_t chunk = std::min(len - done, page_size - off);
+        std::memcpy(p->data.data() + off, src + done, chunk);
+        done += chunk;
+    }
+    return {};
+}
+
+AccessResult
+Memory::read(uint64_t addr, unsigned len, uint64_t *out) const
+{
+    el_assert(len >= 1 && len <= 8, "bad read size %u", len);
+    uint64_t v = 0;
+    AccessResult r = accessConst(addr, &v, len, true, PermRead);
+    if (r.ok())
+        *out = v;
+    return r;
+}
+
+AccessResult
+Memory::write(uint64_t addr, unsigned len, uint64_t value)
+{
+    el_assert(len >= 1 && len <= 8, "bad write size %u", len);
+    return access(addr, &value, len, true, true, PermWrite);
+}
+
+AccessResult
+Memory::readBytes(uint64_t addr, void *out, uint64_t len) const
+{
+    return accessConst(addr, out, len, true, PermRead);
+}
+
+AccessResult
+Memory::writeBytes(uint64_t addr, const void *src, uint64_t len)
+{
+    return access(addr, const_cast<void *>(src), len, true, true, PermWrite);
+}
+
+uint64_t
+Memory::fetch(uint64_t addr, void *out, uint64_t len) const
+{
+    uint8_t *dst = static_cast<uint8_t *>(out);
+    uint64_t done = 0;
+    while (done < len) {
+        uint64_t a = addr + done;
+        const Page *p = find(a);
+        if (!p || !(p->perm & PermExec))
+            break;
+        uint64_t off = a % page_size;
+        uint64_t chunk = std::min(len - done, page_size - off);
+        std::memcpy(dst + done, p->data.data() + off, chunk);
+        done += chunk;
+    }
+    return done;
+}
+
+AccessResult
+Memory::readPriv(uint64_t addr, unsigned len, uint64_t *out) const
+{
+    el_assert(len >= 1 && len <= 8, "bad read size %u", len);
+    uint64_t v = 0;
+    AccessResult r = accessConst(addr, &v, len, false, PermNone);
+    if (r.ok())
+        *out = v;
+    return r;
+}
+
+AccessResult
+Memory::writePriv(uint64_t addr, unsigned len, uint64_t value)
+{
+    el_assert(len >= 1 && len <= 8, "bad write size %u", len);
+    return access(addr, &value, len, true, false, PermNone);
+}
+
+void
+Memory::markCode(uint64_t addr, uint64_t len)
+{
+    uint64_t first = alignDown(addr, page_size);
+    uint64_t last = alignUp(addr + len, page_size);
+    for (uint64_t a = first; a < last; a += page_size) {
+        if (Page *p = find(a))
+            p->has_code = true;
+    }
+}
+
+bool
+Memory::isCode(uint64_t addr, uint64_t len) const
+{
+    uint64_t first = alignDown(addr, page_size);
+    uint64_t last = alignUp(addr + len, page_size);
+    for (uint64_t a = first; a < last; a += page_size) {
+        const Page *p = find(a);
+        if (p && p->has_code)
+            return true;
+    }
+    return false;
+}
+
+} // namespace el::mem

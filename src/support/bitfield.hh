@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the decoder, the translator and the
+ * IPF machine model (bit extraction, insertion, sign extension, alignment).
+ */
+
+#ifndef EL_SUPPORT_BITFIELD_HH
+#define EL_SUPPORT_BITFIELD_HH
+
+#include <cstdint>
+
+namespace el
+{
+
+/** Extract bits [first, first+len) of @p val (len in 1..64). */
+constexpr uint64_t
+bits(uint64_t val, unsigned first, unsigned len)
+{
+    uint64_t mask = (len >= 64) ? ~0ULL : ((1ULL << len) - 1);
+    return (val >> first) & mask;
+}
+
+/** Extract a single bit of @p val. */
+constexpr uint64_t
+bit(uint64_t val, unsigned pos)
+{
+    return (val >> pos) & 1;
+}
+
+/** Insert the low @p len bits of @p src into @p dst at position @p first. */
+constexpr uint64_t
+insertBits(uint64_t dst, unsigned first, unsigned len, uint64_t src)
+{
+    uint64_t mask = (len >= 64) ? ~0ULL : ((1ULL << len) - 1);
+    return (dst & ~(mask << first)) | ((src & mask) << first);
+}
+
+/** Sign-extend the low @p len bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned len)
+{
+    if (len >= 64)
+        return static_cast<int64_t>(val);
+    uint64_t sign = 1ULL << (len - 1);
+    uint64_t mask = (1ULL << len) - 1;
+    val &= mask;
+    return static_cast<int64_t>((val ^ sign) - sign);
+}
+
+/** True if @p addr is a multiple of @p align (align must be a power of 2). */
+constexpr bool
+isAligned(uint64_t addr, uint64_t align)
+{
+    return (addr & (align - 1)) == 0;
+}
+
+/** Round @p addr down to a multiple of @p align (power of 2). */
+constexpr uint64_t
+alignDown(uint64_t addr, uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round @p addr up to a multiple of @p align (power of 2). */
+constexpr uint64_t
+alignUp(uint64_t addr, uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Truncate @p val to @p size bytes (size in {1,2,4,8}). */
+constexpr uint64_t
+truncToSize(uint64_t val, unsigned size)
+{
+    if (size >= 8)
+        return val;
+    return val & ((1ULL << (size * 8)) - 1);
+}
+
+/** Population count of bits set in a byte (used by the PF flag). */
+constexpr unsigned
+popcount8(uint8_t v)
+{
+    unsigned c = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        c += (v >> i) & 1;
+    return c;
+}
+
+} // namespace el
+
+#endif // EL_SUPPORT_BITFIELD_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 logging idiom.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  — the user asked for something impossible (bad configuration,
+ *            malformed guest image); exits with an error code.
+ * warn()   — something is suspicious but execution can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef EL_SUPPORT_LOGGING_HH
+#define EL_SUPPORT_LOGGING_HH
+
+#include <string>
+
+#include "support/strfmt.hh"
+
+namespace el
+{
+
+/** Verbosity control: 0 = errors only, 1 = warn, 2 = inform, 3 = debug. */
+extern int log_level;
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+} // namespace el
+
+#define el_panic(...) \
+    ::el::panicImpl(__FILE__, __LINE__, ::el::strfmt(__VA_ARGS__))
+#define el_fatal(...) \
+    ::el::fatalImpl(__FILE__, __LINE__, ::el::strfmt(__VA_ARGS__))
+#define el_warn(...) ::el::warnImpl(::el::strfmt(__VA_ARGS__))
+#define el_inform(...) ::el::informImpl(::el::strfmt(__VA_ARGS__))
+#define el_debug(...) \
+    do { \
+        if (::el::log_level >= 3) \
+            ::el::debugImpl(::el::strfmt(__VA_ARGS__)); \
+    } while (0)
+
+/** Assert that must hold regardless of user input; compiled in always. */
+#define el_assert(cond, ...) \
+    do { \
+        if (!(cond)) \
+            el_panic("assertion failed: %s: %s", #cond, \
+                     ::el::strfmt("" __VA_ARGS__).c_str()); \
+    } while (0)
+
+#endif // EL_SUPPORT_LOGGING_HH

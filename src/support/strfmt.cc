@@ -1,0 +1,29 @@
+#include "support/strfmt.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace el
+{
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return {};
+    }
+    std::string out(static_cast<size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+} // namespace el

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Printf-style string formatting returning std::string.
+ *
+ * GCC 12 lacks <format>, so the project uses this thin, type-checked
+ * vsnprintf wrapper everywhere a formatted std::string is needed.
+ */
+
+#ifndef EL_SUPPORT_STRFMT_HH
+#define EL_SUPPORT_STRFMT_HH
+
+#include <string>
+
+namespace el
+{
+
+/**
+ * Format like printf into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return The formatted string.
+ */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace el
+
+#endif // EL_SUPPORT_STRFMT_HH

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * x87 FP stack and MMX aliasing tests: TOS rotation, TAG faults, FXCH,
+ * the store/convert paths, FCOMI flags, and the MMX<->FP aliasing rules
+ * the paper's section 5 speculates on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ia32/assembler.hh"
+#include "ia32/interp.hh"
+
+namespace el::ia32
+{
+namespace
+{
+
+constexpr uint32_t code_base = 0x08048000;
+constexpr uint32_t data_base = 0x10000000;
+constexpr uint32_t stack_top = 0x20000000;
+
+class FpuTest : public ::testing::Test
+{
+  protected:
+    void
+    install(Assembler &as)
+    {
+        std::vector<uint8_t> code = as.finish();
+        mem.map(code_base, code.size() + 16, mem::PermRWX);
+        ASSERT_TRUE(
+            mem.writeBytes(code_base, code.data(), code.size()).ok());
+        mem.map(data_base, 0x10000, mem::PermRW);
+        mem.map(stack_top - 0x10000, 0x10000, mem::PermRW);
+        st.eip = code_base;
+        st.gpr[RegEsp] = stack_top;
+    }
+
+    StepResult
+    run(uint64_t max_steps = 100000)
+    {
+        Interpreter interp(st, mem);
+        StepResult res;
+        for (uint64_t i = 0; i < max_steps; ++i) {
+            res = interp.step();
+            if (res.kind != StepKind::Ok)
+                return res;
+        }
+        return res;
+    }
+
+    void
+    putF64(uint32_t addr, double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        ASSERT_TRUE(mem.write(addr, 8, bits).ok());
+    }
+
+    void
+    putF32(uint32_t addr, float v)
+    {
+        uint32_t bits;
+        std::memcpy(&bits, &v, 4);
+        ASSERT_TRUE(mem.write(addr, 4, bits).ok());
+    }
+
+    double
+    getF64(uint32_t addr)
+    {
+        uint64_t bits = 0;
+        EXPECT_TRUE(mem.read(addr, 8, &bits).ok());
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    float
+    getF32(uint32_t addr)
+    {
+        uint64_t bits = 0;
+        EXPECT_TRUE(mem.read(addr, 4, &bits).ok());
+        float v;
+        uint32_t b32 = static_cast<uint32_t>(bits);
+        std::memcpy(&v, &b32, 4);
+        return v;
+    }
+
+    mem::Memory mem;
+    State st;
+};
+
+TEST_F(FpuTest, PushDecrementsTos)
+{
+    Assembler as(code_base);
+    as.fldz();
+    as.fld1();
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.fpu.top, 6u); // two pushes from 0 wrap to 6
+    EXPECT_EQ(st.fpu.readSt(0), 1.0L);
+    EXPECT_EQ(st.fpu.readSt(1), 0.0L);
+}
+
+TEST_F(FpuTest, LoadComputeStore)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.fldM64(memb(RegEbx, 0));
+    as.fldM64(memb(RegEbx, 8));
+    as.farithStiSt0(Op::Fadd, 1, true); // faddp st(1), st
+    as.fstM64(memb(RegEbx, 16), true);
+    as.hlt();
+    install(as);
+    putF64(data_base, 1.5);
+    putF64(data_base + 8, 2.25);
+    run();
+    EXPECT_DOUBLE_EQ(getF64(data_base + 16), 3.75);
+    EXPECT_EQ(st.fpu.top, 0u) << "stack should be balanced";
+    EXPECT_TRUE(st.fpu.isEmpty(0));
+}
+
+TEST_F(FpuTest, SubAndSubrDirections)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.fldM64(memb(RegEbx, 0));    // st0 = 10
+    as.farithM64(Op::Fsub, memb(RegEbx, 8));  // st0 = 10 - 4 = 6
+    as.fstM64(memb(RegEbx, 16), false);
+    as.farithM64(Op::Fsubr, memb(RegEbx, 8)); // st0 = 4 - 6 = -2
+    as.fstM64(memb(RegEbx, 24), true);
+    as.hlt();
+    install(as);
+    putF64(data_base, 10.0);
+    putF64(data_base + 8, 4.0);
+    run();
+    EXPECT_DOUBLE_EQ(getF64(data_base + 16), 6.0);
+    EXPECT_DOUBLE_EQ(getF64(data_base + 24), -2.0);
+}
+
+TEST_F(FpuTest, FxchSwaps)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.fldM64(memb(RegEbx, 0));  // st0=1
+    as.fldM64(memb(RegEbx, 8));  // st0=2 st1=1
+    as.fxch(1);                  // st0=1 st1=2
+    as.fstM64(memb(RegEbx, 16), true);
+    as.fstM64(memb(RegEbx, 24), true);
+    as.hlt();
+    install(as);
+    putF64(data_base, 1.0);
+    putF64(data_base + 8, 2.0);
+    run();
+    EXPECT_DOUBLE_EQ(getF64(data_base + 16), 1.0);
+    EXPECT_DOUBLE_EQ(getF64(data_base + 24), 2.0);
+}
+
+TEST_F(FpuTest, FxchgHeavyCompilerIdiom)
+{
+    // The idiom that motivates FXCH elimination: compute a*b + c*d with
+    // the stack-top restriction forcing fxch traffic.
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.fldM64(memb(RegEbx, 0));   // a
+    as.farithM64(Op::Fmul, memb(RegEbx, 8));  // a*b
+    as.fldM64(memb(RegEbx, 16));  // c
+    as.farithM64(Op::Fmul, memb(RegEbx, 24)); // c*d
+    as.fxch(1);
+    as.farithStiSt0(Op::Fadd, 1, true);
+    as.fstM64(memb(RegEbx, 32), true);
+    as.hlt();
+    install(as);
+    putF64(data_base, 2.0);
+    putF64(data_base + 8, 3.0);
+    putF64(data_base + 16, 5.0);
+    putF64(data_base + 24, 7.0);
+    run();
+    EXPECT_DOUBLE_EQ(getF64(data_base + 32), 41.0);
+}
+
+TEST_F(FpuTest, StackOverflowFaults)
+{
+    Assembler as(code_base);
+    for (int i = 0; i < 8; ++i)
+        as.fldz();
+    uint32_t fault_eip = as.pc();
+    as.fldz(); // 9th push overflows
+    as.hlt();
+    install(as);
+    StepResult res = run();
+    EXPECT_EQ(res.kind, StepKind::Fault);
+    EXPECT_EQ(res.fault.kind, FaultKind::FpStackFault);
+    EXPECT_EQ(res.fault.eip, fault_eip);
+}
+
+TEST_F(FpuTest, StackUnderflowFaults)
+{
+    Assembler as(code_base);
+    as.fninit();
+    uint32_t fault_eip = as.pc();
+    as.farithSt0Sti(Op::Fadd, 1); // empty stack
+    as.hlt();
+    install(as);
+    StepResult res = run();
+    EXPECT_EQ(res.kind, StepKind::Fault);
+    EXPECT_EQ(res.fault.kind, FaultKind::FpStackFault);
+    EXPECT_EQ(res.fault.eip, fault_eip);
+}
+
+TEST_F(FpuTest, SinglePrecisionRoundTrip)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.fldM32(memb(RegEbx, 0));
+    as.farithM32(Op::Fmul, memb(RegEbx, 4));
+    as.fstM32(memb(RegEbx, 8), true);
+    as.hlt();
+    install(as);
+    putF32(data_base, 1.5f);
+    putF32(data_base + 4, 4.0f);
+    run();
+    EXPECT_FLOAT_EQ(getF32(data_base + 8), 6.0f);
+}
+
+TEST_F(FpuTest, FildFistp)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movMI(memb(RegEbx, 0), static_cast<uint32_t>(-12345));
+    as.fildM32(memb(RegEbx, 0));
+    as.farithM32(Op::Fadd, memb(RegEbx, 8));
+    as.fistpM32(memb(RegEbx, 4));
+    as.hlt();
+    install(as);
+    putF32(data_base + 8, 45.0f);
+    run();
+    uint64_t v;
+    ASSERT_TRUE(mem.read(data_base + 4, 4, &v).ok());
+    EXPECT_EQ(static_cast<int32_t>(v), -12300);
+}
+
+TEST_F(FpuTest, FcomiSetsEflags)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.fldM64(memb(RegEbx, 0)); // 2.0 -> st1
+    as.fldM64(memb(RegEbx, 8)); // 1.0 -> st0
+    as.fcomi(1, false);         // compare 1.0 vs 2.0 -> below
+    as.setcc(Cond::B, RegAl);
+    as.hlt();
+    install(as);
+    putF64(data_base, 2.0);
+    putF64(data_base + 8, 1.0);
+    run();
+    EXPECT_EQ(st.gpr[RegEax] & 0xff, 1u);
+    EXPECT_TRUE(st.flag(FlagCf));
+    EXPECT_FALSE(st.flag(FlagZf));
+}
+
+TEST_F(FpuTest, ChsAbsSqrt)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.fldM64(memb(RegEbx, 0));
+    as.fchs();
+    as.fabs_();
+    as.fsqrt();
+    as.fstM64(memb(RegEbx, 8), true);
+    as.hlt();
+    install(as);
+    putF64(data_base, 16.0);
+    run();
+    EXPECT_DOUBLE_EQ(getF64(data_base + 8), 4.0);
+}
+
+TEST_F(FpuTest, FnstswReportsTop)
+{
+    Assembler as(code_base);
+    as.fldz();
+    as.fldz();
+    as.fldz();
+    as.fnstswAx();
+    as.hlt();
+    install(as);
+    run();
+    unsigned top = (st.gpr[RegEax] >> 11) & 7;
+    EXPECT_EQ(top, 5u);
+}
+
+TEST_F(FpuTest, MmxWriteAliasesFpuState)
+{
+    Assembler as(code_base);
+    as.fldz();
+    as.fldz(); // top = 6
+    as.movRI(RegEax, 0x1234);
+    as.movdMmR(0, RegEax); // MMX write: top := 0, all tags valid
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.fpu.top, 0u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(st.fpu.tag[i], FpTag::Valid);
+    EXPECT_EQ(st.fpu.readMm(0), 0x1234u);
+}
+
+TEST_F(FpuTest, MmxArithmeticLanes)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movqMmM(0, memb(RegEbx, 0));
+    as.movqMmM(1, memb(RegEbx, 8));
+    as.pArithMmMm(Op::Paddw, 0, 1);
+    as.movqMMm(memb(RegEbx, 16), 0);
+    as.hlt();
+    install(as);
+    ASSERT_TRUE(mem.write(data_base, 8, 0x0001000200030004ULL).ok());
+    ASSERT_TRUE(mem.write(data_base + 8, 8, 0x000100010001ffffULL).ok());
+    run();
+    uint64_t v;
+    ASSERT_TRUE(mem.read(data_base + 16, 8, &v).ok());
+    EXPECT_EQ(v, 0x0002000300040003ULL);
+}
+
+TEST_F(FpuTest, MmxLaneOverflowWraps)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movqMmM(0, memb(RegEbx, 0));
+    as.pArithMmMm(Op::Paddb, 0, 0); // double each byte lane
+    as.movqMMm(memb(RegEbx, 8), 0);
+    as.hlt();
+    install(as);
+    ASSERT_TRUE(mem.write(data_base, 8, 0x80ff7f0102030405ULL).ok());
+    run();
+    uint64_t v;
+    ASSERT_TRUE(mem.read(data_base + 8, 8, &v).ok());
+    EXPECT_EQ(v, 0x00fefe020406080aULL);
+}
+
+TEST_F(FpuTest, EmmsEmptiesTags)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 7);
+    as.movdMmR(0, RegEax);
+    as.emms();
+    as.fldz(); // must succeed after EMMS
+    as.hlt();
+    install(as);
+    EXPECT_EQ(run().kind, StepKind::Halt);
+    EXPECT_EQ(st.fpu.tag[7], FpTag::Valid); // the fldz slot (top=7)
+}
+
+TEST_F(FpuTest, FpAfterMmxWithoutEmmsFaults)
+{
+    // All 8 slots become valid after an MMX write, so a subsequent FP
+    // push must raise a stack fault — the behaviour that motivates the
+    // translator's MMX/FP domain speculation.
+    Assembler as(code_base);
+    as.movRI(RegEax, 7);
+    as.movdMmR(0, RegEax);
+    uint32_t fault_eip = as.pc();
+    as.fldz();
+    as.hlt();
+    install(as);
+    StepResult res = run();
+    EXPECT_EQ(res.kind, StepKind::Fault);
+    EXPECT_EQ(res.fault.kind, FaultKind::FpStackFault);
+    EXPECT_EQ(res.fault.eip, fault_eip);
+}
+
+} // namespace
+} // namespace el::ia32

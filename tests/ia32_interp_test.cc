@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Interpreter semantics tests: integer ALU flags, control flow, stack
+ * discipline, string ops, and fault precision (state unchanged on fault).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ia32/assembler.hh"
+#include "ia32/interp.hh"
+
+namespace el::ia32
+{
+namespace
+{
+
+constexpr uint32_t code_base = 0x08048000;
+constexpr uint32_t data_base = 0x10000000;
+constexpr uint32_t stack_top = 0x20000000;
+
+/** Loads assembled code, maps data + stack, and runs the interpreter. */
+class InterpTest : public ::testing::Test
+{
+  protected:
+    void
+    install(Assembler &as)
+    {
+        std::vector<uint8_t> code = as.finish();
+        mem.map(code_base, code.size() + 16, mem::PermRWX);
+        ASSERT_TRUE(mem.writeBytes(code_base, code.data(),
+                                   code.size()).ok());
+        mem.map(data_base, 0x10000, mem::PermRW);
+        mem.map(stack_top - 0x10000, 0x10000, mem::PermRW);
+        st.eip = code_base;
+        st.gpr[RegEsp] = stack_top;
+    }
+
+    /** Step until HLT / fault / max steps; expect clean HLT. */
+    StepResult
+    run(uint64_t max_steps = 100000)
+    {
+        Interpreter interp(st, mem);
+        StepResult res;
+        for (uint64_t i = 0; i < max_steps; ++i) {
+            res = interp.step();
+            if (res.kind != StepKind::Ok)
+                return res;
+        }
+        return res;
+    }
+
+    mem::Memory mem;
+    State st;
+};
+
+TEST_F(InterpTest, MovAddSub)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 10);
+    as.movRI(RegEbx, 3);
+    as.aluRR(Op::Add, RegEax, RegEbx); // 13
+    as.aluRI(Op::Sub, RegEax, 4);      // 9
+    as.hlt();
+    install(as);
+    EXPECT_EQ(run().kind, StepKind::Halt);
+    EXPECT_EQ(st.gpr[RegEax], 9u);
+}
+
+TEST_F(InterpTest, FlagsAddCarryOverflow)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 0xffffffff);
+    as.aluRI(Op::Add, RegEax, 1);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_TRUE(st.flag(FlagCf));
+    EXPECT_TRUE(st.flag(FlagZf));
+    EXPECT_FALSE(st.flag(FlagOf));
+    EXPECT_FALSE(st.flag(FlagSf));
+}
+
+TEST_F(InterpTest, FlagsSignedOverflow)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 0x7fffffff);
+    as.aluRI(Op::Add, RegEax, 1);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_TRUE(st.flag(FlagOf));
+    EXPECT_TRUE(st.flag(FlagSf));
+    EXPECT_FALSE(st.flag(FlagCf));
+}
+
+TEST_F(InterpTest, FlagsSubBorrow)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 1);
+    as.aluRI(Op::Sub, RegEax, 2);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 0xffffffffu);
+    EXPECT_TRUE(st.flag(FlagCf));
+    EXPECT_TRUE(st.flag(FlagSf));
+}
+
+TEST_F(InterpTest, AdcSbbChain)
+{
+    // 64-bit add: 0xffffffff_00000001 + 0x00000000_ffffffff
+    Assembler as(code_base);
+    as.movRI(RegEax, 0x00000001); // low
+    as.movRI(RegEdx, 0xffffffff); // high
+    as.aluRI(Op::Add, RegEax, -1); // add 0xffffffff
+    as.aluRI(Op::Adc, RegEdx, 0);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 0u);
+    EXPECT_EQ(st.gpr[RegEdx], 0u); // 0xffffffff + carry wraps to 0
+}
+
+TEST_F(InterpTest, IncPreservesCarry)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 0xffffffff);
+    as.aluRI(Op::Add, RegEax, 1); // sets CF
+    as.incR(RegEax);              // must keep CF
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_TRUE(st.flag(FlagCf));
+    EXPECT_EQ(st.gpr[RegEax], 1u);
+}
+
+TEST_F(InterpTest, MulDiv)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 100000);
+    as.movRI(RegEbx, 100000);
+    as.mulR(RegEbx);              // edx:eax = 10^10
+    as.movRI(RegEcx, 1000);
+    as.divR(RegEcx);              // 10^7
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 10000000u);
+    EXPECT_EQ(st.gpr[RegEdx], 0u);
+}
+
+TEST_F(InterpTest, IdivNegative)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, static_cast<uint32_t>(-7));
+    as.cdq();
+    as.movRI(RegEcx, 2);
+    as.idivR(RegEcx);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(static_cast<int32_t>(st.gpr[RegEax]), -3);
+    EXPECT_EQ(static_cast<int32_t>(st.gpr[RegEdx]), -1);
+}
+
+TEST_F(InterpTest, DivideByZeroFaults)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 1);
+    as.movRI(RegEdx, 0);
+    as.movRI(RegEcx, 0);
+    uint32_t div_eip = as.pc();
+    as.divR(RegEcx);
+    as.hlt();
+    install(as);
+    StepResult res = run();
+    EXPECT_EQ(res.kind, StepKind::Fault);
+    EXPECT_EQ(res.fault.kind, FaultKind::DivideError);
+    EXPECT_EQ(res.fault.eip, div_eip);
+    EXPECT_EQ(st.eip, div_eip) << "fault must be precise";
+}
+
+TEST_F(InterpTest, ShiftFlags)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 0x80000000);
+    as.shiftRI(Op::Shl, RegEax, 1);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 0u);
+    EXPECT_TRUE(st.flag(FlagCf));
+    EXPECT_TRUE(st.flag(FlagZf));
+}
+
+TEST_F(InterpTest, SarSignExtends)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, static_cast<uint32_t>(-16));
+    as.shiftRI(Op::Sar, RegEax, 2);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(static_cast<int32_t>(st.gpr[RegEax]), -4);
+}
+
+TEST_F(InterpTest, ShiftByClZeroLeavesFlags)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 1);
+    as.aluRI(Op::Add, RegEax, -1); // ZF=1
+    as.movRI8(RegCl, 0);
+    as.movRI(RegEbx, 5);
+    as.shiftRCl(Op::Shl, RegEbx);  // count 0: flags unchanged
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_TRUE(st.flag(FlagZf));
+    EXPECT_EQ(st.gpr[RegEbx], 5u);
+}
+
+TEST_F(InterpTest, RotateOps)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 0x80000001);
+    as.shiftRI(Op::Rol, RegEax, 4);
+    as.movRI(RegEbx, 0x80000001);
+    as.shiftRI(Op::Ror, RegEbx, 4);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 0x00000018u);
+    EXPECT_EQ(st.gpr[RegEbx], 0x18000000u);
+}
+
+TEST_F(InterpTest, LoopWithConditional)
+{
+    // sum 1..10
+    Assembler as(code_base);
+    as.movRI(RegEax, 0);
+    as.movRI(RegEcx, 10);
+    Label top = as.label();
+    as.bind(top);
+    as.aluRR(Op::Add, RegEax, RegEcx);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, top);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 55u);
+}
+
+TEST_F(InterpTest, CallRetStack)
+{
+    Assembler as(code_base);
+    Label fn = as.label();
+    as.call(fn);
+    as.hlt();
+    as.bind(fn);
+    as.movRI(RegEax, 0x1234);
+    as.ret();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 0x1234u);
+    EXPECT_EQ(st.gpr[RegEsp], stack_top);
+}
+
+TEST_F(InterpTest, RetWithImmPopsArgs)
+{
+    Assembler as(code_base);
+    Label fn = as.label();
+    as.pushI(11);
+    as.pushI(22);
+    as.call(fn);
+    as.hlt();
+    as.bind(fn);
+    as.movRM(RegEax, memb(RegEsp, 4));  // first arg (22)
+    as.aluRM(Op::Add, RegEax, memb(RegEsp, 8)); // + 11
+    as.ret(8);
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 33u);
+    EXPECT_EQ(st.gpr[RegEsp], stack_top);
+}
+
+TEST_F(InterpTest, IndirectJumpThroughRegister)
+{
+    Assembler as(code_base);
+    as.jmpM(memb(RegEbp, 0)); // jump through a pointer in memory
+    as.nop();                 // skipped
+    as.movRI(RegEcx, 77);     // the jump target (found by byte scan)
+    as.hlt();
+    install(as);
+
+    // Locate "mov ecx, imm32" (opcode 0xb9) to learn the target address.
+    uint8_t buf[64];
+    mem.fetch(code_base, buf, sizeof(buf));
+    uint32_t target_addr = 0;
+    for (unsigned i = 0; i < sizeof(buf); ++i) {
+        if (buf[i] == 0xb9) {
+            target_addr = code_base + i;
+            break;
+        }
+    }
+    ASSERT_NE(target_addr, 0u);
+    st.gpr[RegEbp] = data_base;
+    ASSERT_TRUE(mem.write(data_base, 4, target_addr).ok());
+    run();
+    EXPECT_EQ(st.gpr[RegEcx], 77u);
+}
+
+TEST_F(InterpTest, SetccCmovcc)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 5);
+    as.aluRI(Op::Cmp, RegEax, 5);
+    as.movRI(RegEbx, 0);
+    as.setcc(Cond::E, RegBl);
+    as.movRI(RegEcx, 111);
+    as.movRI(RegEdx, 222);
+    as.cmovcc(Cond::NE, RegEcx, RegEdx); // not taken
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEbx] & 0xff, 1u);
+    EXPECT_EQ(st.gpr[RegEcx], 111u);
+}
+
+TEST_F(InterpTest, PartialRegisterWrites)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 0xaabbccdd);
+    as.movRI8(RegAl, 0x11);
+    as.movRI8(RegAh, 0x22);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 0xaabb2211u);
+}
+
+TEST_F(InterpTest, MemoryLoadStore)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movMI(memb(RegEbx, 0), 0x11223344);
+    as.movRM(RegEax, memb(RegEbx, 0));
+    as.movRM8(RegCl, memb(RegEbx, 1));
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 0x11223344u);
+    EXPECT_EQ(st.gpr[RegEcx] & 0xff, 0x33u);
+}
+
+TEST_F(InterpTest, PageFaultIsPrecise)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 0x55);
+    as.movRI(RegEbx, 0xdead0000); // unmapped
+    uint32_t fault_eip = as.pc();
+    as.movMR(memb(RegEbx, 0), RegEax);
+    as.movRI(RegEax, 0x66); // must not execute
+    as.hlt();
+    install(as);
+    StepResult res = run();
+    EXPECT_EQ(res.kind, StepKind::Fault);
+    EXPECT_EQ(res.fault.kind, FaultKind::PageFault);
+    EXPECT_EQ(res.fault.eip, fault_eip);
+    EXPECT_EQ(res.fault.addr, 0xdead0000u);
+    EXPECT_TRUE(res.fault.is_write);
+    EXPECT_EQ(st.gpr[RegEax], 0x55u);
+}
+
+TEST_F(InterpTest, PushStoreFaultLeavesEspUnchanged)
+{
+    // Table 1 of the paper: ESP must not move if the store faults.
+    Assembler as(code_base);
+    as.movRI(RegEsp, 0x40); // page 0 unmapped
+    as.pushR(RegEax);
+    as.hlt();
+    install(as);
+    st.gpr[RegEsp] = stack_top; // install() set this; re-run sets 0x40
+    StepResult res = run();
+    EXPECT_EQ(res.kind, StepKind::Fault);
+    EXPECT_EQ(st.gpr[RegEsp], 0x40u);
+}
+
+TEST_F(InterpTest, IntReturnsVector)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 1);
+    as.intN(0x80);
+    as.hlt();
+    install(as);
+    Interpreter interp(st, mem);
+    interp.step();
+    StepResult res = interp.step();
+    EXPECT_EQ(res.kind, StepKind::Int);
+    EXPECT_EQ(res.vector, 0x80);
+    EXPECT_EQ(st.eip, res.insn.next()) << "INT advances EIP";
+}
+
+TEST_F(InterpTest, StringRepMovs)
+{
+    Assembler as(code_base);
+    as.cld();
+    as.movRI(RegEsi, data_base);
+    as.movRI(RegEdi, data_base + 0x100);
+    as.movRI(RegEcx, 8);
+    as.repMovsd();
+    as.hlt();
+    install(as);
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(mem.write(data_base + i * 4, 4, 0x1000 + i).ok());
+    run();
+    for (int i = 0; i < 8; ++i) {
+        uint64_t v;
+        ASSERT_TRUE(mem.read(data_base + 0x100 + i * 4, 4, &v).ok());
+        EXPECT_EQ(v, static_cast<uint64_t>(0x1000 + i));
+    }
+    EXPECT_EQ(st.gpr[RegEcx], 0u);
+    EXPECT_EQ(st.gpr[RegEsi], data_base + 32);
+}
+
+TEST_F(InterpTest, StringRepStos)
+{
+    Assembler as(code_base);
+    as.cld();
+    as.movRI(RegEax, 0xabcdabcd);
+    as.movRI(RegEdi, data_base);
+    as.movRI(RegEcx, 4);
+    as.repStosd();
+    as.hlt();
+    install(as);
+    run();
+    for (int i = 0; i < 4; ++i) {
+        uint64_t v;
+        ASSERT_TRUE(mem.read(data_base + i * 4, 4, &v).ok());
+        EXPECT_EQ(v, 0xabcdabcdULL);
+    }
+}
+
+TEST_F(InterpTest, LeaComputesWithoutMemoryAccess)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, 0xdead0000); // unmapped; lea must not touch it
+    as.movRI(RegEcx, 4);
+    as.lea(RegEax, membi(RegEbx, RegEcx, 4, 0x10));
+    as.hlt();
+    install(as);
+    EXPECT_EQ(run().kind, StepKind::Halt);
+    EXPECT_EQ(st.gpr[RegEax], 0xdead0000u + 16 + 0x10);
+}
+
+TEST_F(InterpTest, XchgRegMem)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movMI(memb(RegEbx, 0), 111);
+    as.movRI(RegEax, 222);
+    // xchg [ebx], eax
+    as.byte(0x87);
+    as.byte(0x03);
+    as.hlt();
+    install(as);
+    run();
+    uint64_t v;
+    ASSERT_TRUE(mem.read(data_base, 4, &v).ok());
+    EXPECT_EQ(st.gpr[RegEax], 111u);
+    EXPECT_EQ(v, 222u);
+}
+
+TEST_F(InterpTest, SahfLahf)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 0); // clear
+    as.aluRI(Op::Cmp, RegEax, 1); // CF=1, SF=1
+    as.lahf();
+    as.movRR(RegEbx, RegEax);
+    as.hlt();
+    install(as);
+    run();
+    uint8_t ah = static_cast<uint8_t>(st.gpr[RegEbx] >> 8);
+    EXPECT_TRUE(ah & 0x01);  // CF
+    EXPECT_TRUE(ah & 0x80);  // SF
+    EXPECT_TRUE(ah & 0x02);  // fixed bit 1
+}
+
+TEST_F(InterpTest, LeaveUnwindsFrame)
+{
+    Assembler as(code_base);
+    as.pushR(RegEbp);
+    as.movRR(RegEbp, RegEsp);
+    as.aluRI(Op::Sub, RegEsp, 0x40);
+    as.leave();
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEsp], stack_top);
+}
+
+TEST_F(InterpTest, InvalidOpcodeFaults)
+{
+    Assembler as(code_base);
+    as.ud2();
+    install(as);
+    StepResult res = run();
+    EXPECT_EQ(res.kind, StepKind::Fault);
+    EXPECT_EQ(res.fault.kind, FaultKind::InvalidOpcode);
+}
+
+TEST_F(InterpTest, SixteenBitArithmetic)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, 0x0001ffff);
+    // add ax, 1 -> wraps to 0 in the low 16, preserving the high half
+    as.byte(0x66);
+    as.byte(0x83);
+    as.byte(0xc0);
+    as.byte(0x01);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(st.gpr[RegEax], 0x00010000u);
+    EXPECT_TRUE(st.flag(FlagCf));
+    EXPECT_TRUE(st.flag(FlagZf));
+}
+
+} // namespace
+} // namespace el::ia32

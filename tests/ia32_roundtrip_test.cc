@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Property tests: every encoding the Assembler can emit must decode back
+ * to the intended instruction. This pins the assembler and the decoder
+ * to each other, which the whole translation pipeline depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "ia32/assembler.hh"
+#include "ia32/decoder.hh"
+#include "support/random.hh"
+
+namespace el::ia32
+{
+namespace
+{
+
+/** Assemble one instruction via @p emit and decode it back. */
+Insn
+roundtrip(const std::function<void(Assembler &)> &emit)
+{
+    Assembler as(0x1000);
+    emit(as);
+    std::vector<uint8_t> code = as.finish();
+    Insn insn;
+    EXPECT_TRUE(decode(code.data(), static_cast<unsigned>(code.size()),
+                       0x1000, &insn))
+        << "undecodable encoding";
+    EXPECT_EQ(insn.len, code.size()) << "length mismatch";
+    return insn;
+}
+
+MemRef
+randomMem(Rng &rng)
+{
+    switch (rng.range(5)) {
+      case 0:
+        return memb(static_cast<Reg>(rng.range(8)),
+                    static_cast<int32_t>(rng.between(-0x80, 0x7f)));
+      case 1:
+        return memb(static_cast<Reg>(rng.range(8)),
+                    static_cast<int32_t>(rng.between(-100000, 100000)));
+      case 2: {
+        Reg index;
+        do {
+            index = static_cast<Reg>(rng.range(8));
+        } while (index == RegEsp);
+        return membi(static_cast<Reg>(rng.range(8)), index,
+                     static_cast<uint8_t>(1u << rng.range(4)),
+                     static_cast<int32_t>(rng.between(-128, 127)));
+      }
+      case 3:
+        return memabs(static_cast<uint32_t>(rng.range(0xfffff)));
+      default: {
+        Reg index;
+        do {
+            index = static_cast<Reg>(rng.range(8));
+        } while (index == RegEsp);
+        return memi(index, 4,
+                    static_cast<int32_t>(rng.range(0x10000)));
+      }
+    }
+}
+
+void
+expectMemEq(const MemRef &a, const MemRef &b)
+{
+    EXPECT_EQ(a.has_base, b.has_base);
+    if (a.has_base) {
+        EXPECT_EQ(a.base, b.base);
+    }
+    EXPECT_EQ(a.has_index, b.has_index);
+    if (a.has_index) {
+        EXPECT_EQ(a.index, b.index);
+        EXPECT_EQ(a.scale, b.scale);
+    }
+    EXPECT_EQ(a.disp, b.disp);
+}
+
+TEST(Roundtrip, MovAllForms)
+{
+    Rng rng(1);
+    for (int iter = 0; iter < 200; ++iter) {
+        Reg r = static_cast<Reg>(rng.range(8));
+        Reg r2 = static_cast<Reg>(rng.range(8));
+        uint32_t imm = static_cast<uint32_t>(rng.next());
+        MemRef m = randomMem(rng);
+
+        Insn a = roundtrip([&](Assembler &as) { as.movRI(r, imm); });
+        EXPECT_EQ(a.op, Op::Mov);
+        EXPECT_EQ(a.dst.reg, r);
+        EXPECT_EQ(static_cast<uint32_t>(a.src.imm), imm);
+
+        Insn b = roundtrip([&](Assembler &as) { as.movRR(r, r2); });
+        EXPECT_EQ(b.op, Op::Mov);
+        EXPECT_EQ(b.dst.reg, r);
+        EXPECT_EQ(b.src.reg, r2);
+
+        Insn c = roundtrip([&](Assembler &as) { as.movRM(r, m); });
+        EXPECT_EQ(c.op, Op::Mov);
+        expectMemEq(c.src.mem, m);
+
+        Insn d = roundtrip([&](Assembler &as) { as.movMR(m, r); });
+        EXPECT_EQ(d.op, Op::Mov);
+        expectMemEq(d.dst.mem, m);
+
+        Insn e = roundtrip([&](Assembler &as) { as.movMI(m, imm); });
+        EXPECT_EQ(e.op, Op::Mov);
+        EXPECT_EQ(static_cast<uint32_t>(e.src.imm), imm);
+    }
+}
+
+TEST(Roundtrip, AluAllForms)
+{
+    Rng rng(2);
+    const Op ops[] = {Op::Add, Op::Adc, Op::Sub, Op::Sbb,
+                      Op::And, Op::Or, Op::Xor, Op::Cmp};
+    for (int iter = 0; iter < 300; ++iter) {
+        Op op = ops[rng.range(8)];
+        Reg r = static_cast<Reg>(rng.range(8));
+        Reg r2 = static_cast<Reg>(rng.range(8));
+        int32_t imm = static_cast<int32_t>(rng.next());
+        MemRef m = randomMem(rng);
+
+        Insn a = roundtrip([&](Assembler &as) { as.aluRR(op, r, r2); });
+        EXPECT_EQ(a.op, op);
+        EXPECT_EQ(a.dst.reg, r);
+        EXPECT_EQ(a.src.reg, r2);
+
+        Insn b = roundtrip([&](Assembler &as) { as.aluRI(op, r, imm); });
+        EXPECT_EQ(b.op, op);
+        EXPECT_EQ(static_cast<int32_t>(b.src.imm), imm);
+
+        Insn c = roundtrip([&](Assembler &as) { as.aluRM(op, r, m); });
+        EXPECT_EQ(c.op, op);
+        expectMemEq(c.src.mem, m);
+
+        Insn d = roundtrip([&](Assembler &as) { as.aluMR(op, m, r); });
+        EXPECT_EQ(d.op, op);
+        expectMemEq(d.dst.mem, m);
+
+        Insn e = roundtrip([&](Assembler &as) { as.aluMI(op, m, imm); });
+        EXPECT_EQ(e.op, op);
+        EXPECT_EQ(static_cast<int32_t>(e.src.imm), imm);
+    }
+}
+
+TEST(Roundtrip, ShiftForms)
+{
+    Rng rng(3);
+    const Op ops[] = {Op::Shl, Op::Shr, Op::Sar, Op::Rol, Op::Ror};
+    for (int iter = 0; iter < 100; ++iter) {
+        Op op = ops[rng.range(5)];
+        Reg r = static_cast<Reg>(rng.range(8));
+        uint8_t imm = static_cast<uint8_t>(1 + rng.range(31));
+
+        Insn a = roundtrip([&](Assembler &as) { as.shiftRI(op, r, imm); });
+        EXPECT_EQ(a.op, op);
+        EXPECT_EQ(a.src.imm, imm);
+
+        Insn b = roundtrip([&](Assembler &as) { as.shiftRCl(op, r); });
+        EXPECT_EQ(b.op, op);
+        EXPECT_EQ(b.src.kind, OperandKind::Gpr8);
+        EXPECT_EQ(b.src.reg, RegCl);
+    }
+}
+
+TEST(Roundtrip, StackAndUnary)
+{
+    Rng rng(4);
+    for (int iter = 0; iter < 50; ++iter) {
+        Reg r = static_cast<Reg>(rng.range(8));
+        EXPECT_EQ(roundtrip([&](Assembler &a) { a.pushR(r); }).op,
+                  Op::Push);
+        EXPECT_EQ(roundtrip([&](Assembler &a) { a.popR(r); }).op, Op::Pop);
+        EXPECT_EQ(roundtrip([&](Assembler &a) { a.incR(r); }).op, Op::Inc);
+        EXPECT_EQ(roundtrip([&](Assembler &a) { a.decR(r); }).op, Op::Dec);
+        EXPECT_EQ(roundtrip([&](Assembler &a) { a.negR(r); }).op, Op::Neg);
+        EXPECT_EQ(roundtrip([&](Assembler &a) { a.notR(r); }).op, Op::Not);
+        EXPECT_EQ(roundtrip([&](Assembler &a) { a.mulR(r); }).op, Op::Mul1);
+        EXPECT_EQ(roundtrip([&](Assembler &a) { a.divR(r); }).op, Op::Div);
+        EXPECT_EQ(roundtrip([&](Assembler &a) { a.idivR(r); }).op,
+                  Op::Idiv);
+    }
+}
+
+TEST(Roundtrip, BranchesWithLabels)
+{
+    for (unsigned c = 0; c < 16; ++c) {
+        Assembler as(0x1000);
+        Label fwd = as.label();
+        as.jcc(static_cast<Cond>(c), fwd);
+        as.nop();
+        as.nop();
+        as.bind(fwd);
+        as.ret();
+        std::vector<uint8_t> code = as.finish();
+
+        Insn insn;
+        ASSERT_TRUE(decode(code.data(),
+                           static_cast<unsigned>(code.size()), 0x1000,
+                           &insn));
+        EXPECT_EQ(insn.op, Op::Jcc);
+        EXPECT_EQ(insn.cond, static_cast<Cond>(c));
+        EXPECT_EQ(insn.target(), 0x1000u + 6 + 2);
+    }
+}
+
+TEST(Roundtrip, BackwardLabel)
+{
+    Assembler as(0x2000);
+    Label top = as.label();
+    as.bind(top);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, top);
+    std::vector<uint8_t> code = as.finish();
+
+    Insn dec_insn, jcc_insn;
+    ASSERT_TRUE(decode(code.data(), static_cast<unsigned>(code.size()),
+                       0x2000, &dec_insn));
+    ASSERT_TRUE(decode(code.data() + dec_insn.len,
+                       static_cast<unsigned>(code.size() - dec_insn.len),
+                       0x2000 + dec_insn.len, &jcc_insn));
+    EXPECT_EQ(jcc_insn.target(), 0x2000u);
+}
+
+TEST(Roundtrip, CallJmpAbs)
+{
+    Assembler as(0x1000);
+    as.callAbs(0x4000);
+    as.jmpAbs(0x1000);
+    std::vector<uint8_t> code = as.finish();
+    Insn c, j;
+    ASSERT_TRUE(decode(code.data(), 5, 0x1000, &c));
+    EXPECT_EQ(c.op, Op::Call);
+    EXPECT_EQ(c.target(), 0x4000u);
+    ASSERT_TRUE(decode(code.data() + 5, 5, 0x1005, &j));
+    EXPECT_EQ(j.op, Op::Jmp);
+    EXPECT_EQ(j.target(), 0x1000u);
+}
+
+TEST(Roundtrip, X87Forms)
+{
+    Rng rng(5);
+    const Op arith[] = {Op::Fadd, Op::Fmul, Op::Fsub, Op::Fsubr,
+                        Op::Fdiv, Op::Fdivr};
+    for (int iter = 0; iter < 100; ++iter) {
+        MemRef m = randomMem(rng);
+        uint8_t sti = static_cast<uint8_t>(rng.range(8));
+        Op op = arith[rng.range(6)];
+
+        Insn a = roundtrip([&](Assembler &as) { as.fldM32(m); });
+        EXPECT_EQ(a.op, Op::Fld);
+        EXPECT_EQ(a.op_size, 4u);
+
+        Insn b = roundtrip([&](Assembler &as) { as.fstM64(m, true); });
+        EXPECT_EQ(b.op, Op::Fst);
+        EXPECT_TRUE(b.fp_pop);
+        EXPECT_EQ(b.op_size, 8u);
+
+        Insn c = roundtrip([&](Assembler &as) { as.farithSt0Sti(op, sti); });
+        EXPECT_EQ(c.op, op);
+        EXPECT_EQ(c.dst.reg, 0);
+        EXPECT_EQ(c.src.reg, sti);
+
+        Insn d = roundtrip(
+            [&](Assembler &as) { as.farithStiSt0(op, sti, true); });
+        EXPECT_EQ(d.op, op);
+        EXPECT_TRUE(d.fp_pop);
+        EXPECT_EQ(d.dst.reg, sti);
+
+        Insn e = roundtrip([&](Assembler &as) { as.farithM32(op, m); });
+        EXPECT_EQ(e.op, op);
+        expectMemEq(e.src.mem, m);
+
+        Insn f = roundtrip([&](Assembler &as) { as.fxch(sti); });
+        EXPECT_EQ(f.op, Op::Fxch);
+        EXPECT_EQ(f.dst.reg, sti);
+    }
+}
+
+TEST(Roundtrip, MmxForms)
+{
+    Rng rng(6);
+    const Op ops[] = {Op::Paddb, Op::Paddw, Op::Paddd, Op::Psubb,
+                      Op::Psubw, Op::Psubd, Op::Pand, Op::Por,
+                      Op::Pxor, Op::Pmullw};
+    for (int iter = 0; iter < 100; ++iter) {
+        uint8_t d = static_cast<uint8_t>(rng.range(8));
+        uint8_t s = static_cast<uint8_t>(rng.range(8));
+        Reg r = static_cast<Reg>(rng.range(8));
+        MemRef m = randomMem(rng);
+        Op op = ops[rng.range(10)];
+
+        Insn a = roundtrip([&](Assembler &as) { as.movdMmR(d, r); });
+        EXPECT_EQ(a.op, Op::Movd);
+        EXPECT_EQ(a.dst.reg, d);
+
+        Insn b = roundtrip([&](Assembler &as) { as.pArithMmMm(op, d, s); });
+        EXPECT_EQ(b.op, op);
+        EXPECT_EQ(b.dst.reg, d);
+        EXPECT_EQ(b.src.reg, s);
+
+        Insn c = roundtrip([&](Assembler &as) { as.pArithMmM(op, d, m); });
+        EXPECT_EQ(c.op, op);
+        expectMemEq(c.src.mem, m);
+
+        Insn e = roundtrip([&](Assembler &as) { as.movqMmM(d, m); });
+        EXPECT_EQ(e.op, Op::MovqMm);
+    }
+}
+
+TEST(Roundtrip, SseForms)
+{
+    Rng rng(7);
+    const Op ops[] = {Op::Addps, Op::Subps, Op::Mulps, Op::Divps,
+                      Op::Addss, Op::Mulss, Op::Addpd, Op::Mulpd,
+                      Op::Xorps, Op::Andps, Op::PadddX};
+    for (int iter = 0; iter < 100; ++iter) {
+        uint8_t d = static_cast<uint8_t>(rng.range(8));
+        uint8_t s = static_cast<uint8_t>(rng.range(8));
+        MemRef m = randomMem(rng);
+        Op op = ops[rng.range(11)];
+
+        Insn a = roundtrip([&](Assembler &as) { as.sseArithXX(op, d, s); });
+        EXPECT_EQ(a.op, op);
+        EXPECT_EQ(a.dst.reg, d);
+        EXPECT_EQ(a.src.reg, s);
+
+        Insn b = roundtrip([&](Assembler &as) { as.sseArithXM(op, d, m); });
+        EXPECT_EQ(b.op, op);
+        expectMemEq(b.src.mem, m);
+
+        Insn c = roundtrip([&](Assembler &as) { as.movapsXM(d, m); });
+        EXPECT_EQ(c.op, Op::Movaps);
+
+        Insn e = roundtrip([&](Assembler &as) { as.movssXM(d, m); });
+        EXPECT_EQ(e.op, Op::Movss);
+
+        Insn f = roundtrip([&](Assembler &as) { as.movdqaMX(m, d); });
+        EXPECT_EQ(f.op, Op::Movdqa);
+        expectMemEq(f.dst.mem, m);
+    }
+}
+
+TEST(Roundtrip, MovPartialSizes)
+{
+    Rng rng(8);
+    for (int iter = 0; iter < 100; ++iter) {
+        Reg8 r8 = static_cast<Reg8>(rng.range(8));
+        Reg r = static_cast<Reg>(rng.range(8));
+        MemRef m = randomMem(rng);
+
+        Insn a = roundtrip(
+            [&](Assembler &as) { as.movRI8(r8, 0x5a); });
+        EXPECT_EQ(a.op, Op::Mov);
+        EXPECT_EQ(a.op_size, 1u);
+        EXPECT_EQ(a.dst.reg, r8);
+
+        Insn b = roundtrip([&](Assembler &as) { as.movRM8(r8, m); });
+        EXPECT_EQ(b.op_size, 1u);
+
+        Insn c = roundtrip([&](Assembler &as) { as.movRM16(r, m); });
+        EXPECT_EQ(c.op_size, 2u);
+
+        Insn d = roundtrip([&](Assembler &as) { as.movzxRM8(r, m); });
+        EXPECT_EQ(d.op, Op::Movzx);
+        EXPECT_EQ(d.op_size, 1u);
+
+        Insn e = roundtrip([&](Assembler &as) { as.movsxRM16(r, m); });
+        EXPECT_EQ(e.op, Op::Movsx);
+        EXPECT_EQ(e.op_size, 2u);
+    }
+}
+
+} // namespace
+} // namespace el::ia32

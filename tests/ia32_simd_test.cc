@@ -1,0 +1,291 @@
+/**
+ * @file
+ * SSE tests: moves (including the MOVAPS alignment fault), packed and
+ * scalar arithmetic in all four data formats, format conversions, and
+ * UCOMISS flag generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ia32/assembler.hh"
+#include "ia32/interp.hh"
+
+namespace el::ia32
+{
+namespace
+{
+
+constexpr uint32_t code_base = 0x08048000;
+constexpr uint32_t data_base = 0x10000000;
+constexpr uint32_t stack_top = 0x20000000;
+
+class SimdTest : public ::testing::Test
+{
+  protected:
+    void
+    install(Assembler &as)
+    {
+        std::vector<uint8_t> code = as.finish();
+        mem.map(code_base, code.size() + 16, mem::PermRWX);
+        ASSERT_TRUE(
+            mem.writeBytes(code_base, code.data(), code.size()).ok());
+        mem.map(data_base, 0x10000, mem::PermRW);
+        mem.map(stack_top - 0x10000, 0x10000, mem::PermRW);
+        st.eip = code_base;
+        st.gpr[RegEsp] = stack_top;
+    }
+
+    StepResult
+    run(uint64_t max_steps = 100000)
+    {
+        Interpreter interp(st, mem);
+        StepResult res;
+        for (uint64_t i = 0; i < max_steps; ++i) {
+            res = interp.step();
+            if (res.kind != StepKind::Ok)
+                return res;
+        }
+        return res;
+    }
+
+    void
+    putPs(uint32_t addr, float a, float b, float c, float d)
+    {
+        float v[4] = {a, b, c, d};
+        ASSERT_TRUE(mem.writeBytes(addr, v, 16).ok());
+    }
+
+    void
+    putPd(uint32_t addr, double a, double b)
+    {
+        double v[2] = {a, b};
+        ASSERT_TRUE(mem.writeBytes(addr, v, 16).ok());
+    }
+
+    float
+    ps(uint32_t addr, int lane)
+    {
+        float v;
+        EXPECT_TRUE(mem.readBytes(addr + lane * 4, &v, 4).ok());
+        return v;
+    }
+
+    double
+    pd(uint32_t addr, int lane)
+    {
+        double v;
+        EXPECT_TRUE(mem.readBytes(addr + lane * 8, &v, 8).ok());
+        return v;
+    }
+
+    mem::Memory mem;
+    State st;
+};
+
+TEST_F(SimdTest, PackedSingleArithmetic)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movapsXM(0, memb(RegEbx, 0));
+    as.movapsXM(1, memb(RegEbx, 16));
+    as.sseArithXX(Op::Addps, 0, 1);
+    as.sseArithXM(Op::Mulps, 0, memb(RegEbx, 32));
+    as.movapsMX(memb(RegEbx, 48), 0);
+    as.hlt();
+    install(as);
+    putPs(data_base, 1, 2, 3, 4);
+    putPs(data_base + 16, 10, 20, 30, 40);
+    putPs(data_base + 32, 2, 2, 2, 2);
+    run();
+    EXPECT_FLOAT_EQ(ps(data_base + 48, 0), 22.0f);
+    EXPECT_FLOAT_EQ(ps(data_base + 48, 1), 44.0f);
+    EXPECT_FLOAT_EQ(ps(data_base + 48, 2), 66.0f);
+    EXPECT_FLOAT_EQ(ps(data_base + 48, 3), 88.0f);
+}
+
+TEST_F(SimdTest, ScalarSingleLeavesUpperLanes)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movapsXM(0, memb(RegEbx, 0));
+    as.sseArithXM(Op::Addss, 0, memb(RegEbx, 16));
+    as.movapsMX(memb(RegEbx, 32), 0);
+    as.hlt();
+    install(as);
+    putPs(data_base, 1, 2, 3, 4);
+    putPs(data_base + 16, 100, 0, 0, 0);
+    run();
+    EXPECT_FLOAT_EQ(ps(data_base + 32, 0), 101.0f);
+    EXPECT_FLOAT_EQ(ps(data_base + 32, 1), 2.0f);
+    EXPECT_FLOAT_EQ(ps(data_base + 32, 3), 4.0f);
+}
+
+TEST_F(SimdTest, MovssLoadZeroesUpperLanes)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movapsXM(0, memb(RegEbx, 0));
+    as.movssXM(0, memb(RegEbx, 16));
+    as.movapsMX(memb(RegEbx, 32), 0);
+    as.hlt();
+    install(as);
+    putPs(data_base, 1, 2, 3, 4);
+    putPs(data_base + 16, 9, 9, 9, 9);
+    run();
+    EXPECT_FLOAT_EQ(ps(data_base + 32, 0), 9.0f);
+    EXPECT_FLOAT_EQ(ps(data_base + 32, 1), 0.0f);
+    EXPECT_FLOAT_EQ(ps(data_base + 32, 3), 0.0f);
+}
+
+TEST_F(SimdTest, PackedDoubleArithmetic)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movapsXM(0, memb(RegEbx, 0));
+    as.sseArithXM(Op::Addpd, 0, memb(RegEbx, 16));
+    as.sseArithXM(Op::Mulpd, 0, memb(RegEbx, 32));
+    as.movapsMX(memb(RegEbx, 48), 0);
+    as.hlt();
+    install(as);
+    putPd(data_base, 1.5, 2.5);
+    putPd(data_base + 16, 0.5, 0.5);
+    putPd(data_base + 32, 10.0, 100.0);
+    run();
+    EXPECT_DOUBLE_EQ(pd(data_base + 48, 0), 20.0);
+    EXPECT_DOUBLE_EQ(pd(data_base + 48, 1), 300.0);
+}
+
+TEST_F(SimdTest, PackedIntegerDomain)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movdqaXM(0, memb(RegEbx, 0));
+    as.sseArithXM(Op::PadddX, 0, memb(RegEbx, 16));
+    as.movdqaMX(memb(RegEbx, 32), 0);
+    as.hlt();
+    install(as);
+    uint32_t a[4] = {1, 2, 0xffffffff, 4};
+    uint32_t b[4] = {10, 20, 1, 40};
+    ASSERT_TRUE(mem.writeBytes(data_base, a, 16).ok());
+    ASSERT_TRUE(mem.writeBytes(data_base + 16, b, 16).ok());
+    run();
+    uint32_t r[4];
+    ASSERT_TRUE(mem.readBytes(data_base + 32, r, 16).ok());
+    EXPECT_EQ(r[0], 11u);
+    EXPECT_EQ(r[1], 22u);
+    EXPECT_EQ(r[2], 0u); // wraparound
+    EXPECT_EQ(r[3], 44u);
+}
+
+TEST_F(SimdTest, MovapsMisalignedFaults)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base + 4); // misaligned by 4
+    uint32_t fault_eip = as.pc();
+    as.movapsXM(0, memb(RegEbx, 0));
+    as.hlt();
+    install(as);
+    StepResult res = run();
+    EXPECT_EQ(res.kind, StepKind::Fault);
+    EXPECT_EQ(res.fault.kind, FaultKind::GeneralProtect);
+    EXPECT_EQ(res.fault.eip, fault_eip);
+}
+
+TEST_F(SimdTest, MovupsToleratesMisalignment)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base + 4);
+    as.movupsXM(0, memb(RegEbx, 0));
+    as.movupsMX(memb(RegEbx, 100), 0); // also misaligned
+    as.hlt();
+    install(as);
+    putPs(data_base + 4, 5, 6, 7, 8);
+    EXPECT_EQ(run().kind, StepKind::Halt);
+    EXPECT_FLOAT_EQ(ps(data_base + 104, 2), 7.0f);
+}
+
+TEST_F(SimdTest, FormatConversions)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movapsXM(1, memb(RegEbx, 0));
+    as.cvtps2pd(0, 1); // two floats -> two doubles
+    as.movapsMX(memb(RegEbx, 16), 0);
+    as.cvtpd2ps(2, 0); // back to floats
+    as.movapsMX(memb(RegEbx, 32), 2);
+    as.hlt();
+    install(as);
+    putPs(data_base, 1.25f, -2.5f, 99.0f, 99.0f);
+    run();
+    EXPECT_DOUBLE_EQ(pd(data_base + 16, 0), 1.25);
+    EXPECT_DOUBLE_EQ(pd(data_base + 16, 1), -2.5);
+    EXPECT_FLOAT_EQ(ps(data_base + 32, 0), 1.25f);
+    EXPECT_FLOAT_EQ(ps(data_base + 32, 1), -2.5f);
+    EXPECT_FLOAT_EQ(ps(data_base + 32, 2), 0.0f);
+}
+
+TEST_F(SimdTest, IntFloatConversions)
+{
+    Assembler as(code_base);
+    as.movRI(RegEax, static_cast<uint32_t>(-41));
+    as.cvtsi2ss(0, RegEax);
+    as.sseArithXX(Op::Addss, 0, 0); // -82
+    as.cvttss2si(RegEcx, 0);
+    as.hlt();
+    install(as);
+    run();
+    EXPECT_EQ(static_cast<int32_t>(st.gpr[RegEcx]), -82);
+}
+
+TEST_F(SimdTest, UcomissFlags)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movssXM(0, memb(RegEbx, 0));
+    as.movssXM(1, memb(RegEbx, 4));
+    as.ucomissXX(0, 1);
+    as.setcc(Cond::B, RegAl);
+    as.setcc(Cond::E, RegCl);
+    as.hlt();
+    install(as);
+    float vals[2] = {1.0f, 2.0f};
+    ASSERT_TRUE(mem.writeBytes(data_base, vals, 8).ok());
+    run();
+    EXPECT_EQ(st.gpr[RegEax] & 0xff, 1u); // 1.0 < 2.0 => CF
+    EXPECT_EQ(st.gpr[RegEcx] & 0xff, 0u);
+}
+
+TEST_F(SimdTest, XorpsZeroIdiom)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movapsXM(0, memb(RegEbx, 0));
+    as.sseArithXX(Op::Xorps, 0, 0);
+    as.movapsMX(memb(RegEbx, 16), 0);
+    as.hlt();
+    install(as);
+    putPs(data_base, 1, 2, 3, 4);
+    run();
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(ps(data_base + 16, i), 0.0f);
+}
+
+TEST_F(SimdTest, MovsdScalarDouble)
+{
+    Assembler as(code_base);
+    as.movRI(RegEbx, data_base);
+    as.movsdXM(0, memb(RegEbx, 0));
+    as.sseArithXM(Op::Addsd, 0, memb(RegEbx, 8));
+    as.movsdMX(memb(RegEbx, 16), 0);
+    as.hlt();
+    install(as);
+    double vals[2] = {1.125, 2.25};
+    ASSERT_TRUE(mem.writeBytes(data_base, vals, 16).ok());
+    run();
+    EXPECT_DOUBLE_EQ(pd(data_base + 16, 0), 3.375);
+}
+
+} // namespace
+} // namespace el::ia32

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for guest memory (mapping, permissions, cross-page access)
+ * and the cache cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_model.hh"
+#include "mem/memory.hh"
+
+namespace el::mem
+{
+namespace
+{
+
+TEST(Memory, MapAndReadWrite)
+{
+    Memory m;
+    m.map(0x1000, 0x1000, PermRW);
+    uint64_t v = 0;
+    EXPECT_TRUE(m.write(0x1000, 4, 0xdeadbeef).ok());
+    EXPECT_TRUE(m.read(0x1000, 4, &v).ok());
+    EXPECT_EQ(v, 0xdeadbeefULL);
+}
+
+TEST(Memory, LittleEndian)
+{
+    Memory m;
+    m.map(0, 0x1000, PermRW);
+    ASSERT_TRUE(m.write(0x10, 4, 0x11223344).ok());
+    uint64_t b = 0;
+    ASSERT_TRUE(m.read(0x10, 1, &b).ok());
+    EXPECT_EQ(b, 0x44u);
+    ASSERT_TRUE(m.read(0x13, 1, &b).ok());
+    EXPECT_EQ(b, 0x11u);
+}
+
+TEST(Memory, UnmappedFaults)
+{
+    Memory m;
+    uint64_t v;
+    auto r = m.read(0x5000, 4, &v);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error, AccessError::Unmapped);
+    EXPECT_EQ(r.fault_addr, 0x5000u);
+}
+
+TEST(Memory, PermissionFaults)
+{
+    Memory m;
+    m.map(0x1000, 0x1000, PermRead);
+    auto r = m.write(0x1004, 4, 1);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error, AccessError::Protection);
+    uint64_t v;
+    EXPECT_TRUE(m.read(0x1004, 4, &v).ok());
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory m;
+    m.map(0x1000, 0x2000, PermRW);
+    // Write straddling the page boundary at 0x2000.
+    EXPECT_TRUE(m.write(0x1ffe, 4, 0xaabbccdd).ok());
+    uint64_t v = 0;
+    EXPECT_TRUE(m.read(0x1ffe, 4, &v).ok());
+    EXPECT_EQ(v, 0xaabbccddULL);
+}
+
+TEST(Memory, CrossPageFaultReportsFirstBadAddress)
+{
+    Memory m;
+    m.map(0x1000, 0x1000, PermRW); // [0x1000, 0x2000) only
+    auto r = m.write(0x1ffe, 4, 0xaabbccdd);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.fault_addr, 0x2000u);
+}
+
+TEST(Memory, FetchNeedsExec)
+{
+    Memory m;
+    m.map(0x1000, 0x1000, PermRW);
+    uint8_t buf[4];
+    EXPECT_EQ(m.fetch(0x1000, buf, 4), 0u);
+    m.protect(0x1000, 0x1000, PermRX);
+    EXPECT_EQ(m.fetch(0x1000, buf, 4), 4u);
+}
+
+TEST(Memory, FetchStopsAtBoundary)
+{
+    Memory m;
+    m.map(0x1000, 0x1000, PermRX);
+    uint8_t buf[16];
+    EXPECT_EQ(m.fetch(0x1ff8, buf, 16), 8u);
+}
+
+TEST(Memory, PrivilegedBypassesPerms)
+{
+    Memory m;
+    m.map(0x1000, 0x1000, PermNone);
+    EXPECT_TRUE(m.writePriv(0x1000, 4, 7).ok());
+    uint64_t v;
+    EXPECT_TRUE(m.readPriv(0x1000, 4, &v).ok());
+    EXPECT_EQ(v, 7u);
+    EXPECT_FALSE(m.read(0x1000, 4, &v).ok());
+}
+
+TEST(Memory, UnmapRemovesPages)
+{
+    Memory m;
+    m.map(0x1000, 0x2000, PermRW);
+    m.unmap(0x1000, 0x1000);
+    uint64_t v;
+    EXPECT_FALSE(m.read(0x1800, 4, &v).ok());
+    EXPECT_TRUE(m.read(0x2800, 4, &v).ok());
+}
+
+TEST(Memory, CodeMarking)
+{
+    Memory m;
+    m.map(0x1000, 0x2000, PermRWX);
+    EXPECT_FALSE(m.isCode(0x1000, 16));
+    m.markCode(0x1100, 32);
+    EXPECT_TRUE(m.isCode(0x1000, 0x1000));
+    EXPECT_FALSE(m.isCode(0x2000, 16));
+}
+
+TEST(CacheModel, HitAfterMiss)
+{
+    CacheModel c = CacheModel::itanium2();
+    unsigned first = c.access(0x1000, 4);
+    unsigned second = c.access(0x1000, 4);
+    EXPECT_GT(first, second);
+    EXPECT_EQ(second, c.levels()[0].hit_latency);
+}
+
+TEST(CacheModel, LineGranularity)
+{
+    CacheModel c = CacheModel::itanium2();
+    c.access(0x1000, 4);
+    // Same 64-byte line => L1 hit.
+    EXPECT_EQ(c.access(0x1030, 4), c.levels()[0].hit_latency);
+}
+
+TEST(CacheModel, StraddlingAccessTouchesTwoLines)
+{
+    CacheModel c = CacheModel::itanium2();
+    c.access(0x1000, 4);
+    c.access(0x1040, 4);
+    // Both lines resident: a straddling access costs two L1 hits.
+    EXPECT_EQ(c.access(0x103e, 4), 2 * c.levels()[0].hit_latency);
+}
+
+TEST(CacheModel, CapacityEviction)
+{
+    CacheModel c({{"L1", 1024, 64, 1, 1}}, 100);
+    // Direct-mapped 1KB: addresses 0 and 1024 conflict.
+    EXPECT_EQ(c.access(0, 4), 100u);
+    EXPECT_EQ(c.access(1024, 4), 100u);
+    EXPECT_EQ(c.access(0, 4), 100u); // evicted by the conflicting line
+}
+
+TEST(CacheModel, StatsCount)
+{
+    CacheModel c = CacheModel::itanium2();
+    c.access(0x1000, 4);
+    c.access(0x1000, 4);
+    EXPECT_EQ(c.stats()[0].accesses, 2u);
+    EXPECT_EQ(c.stats()[0].misses, 1u);
+}
+
+TEST(CacheModel, ResetClears)
+{
+    CacheModel c = CacheModel::itanium2();
+    c.access(0x1000, 4);
+    c.reset();
+    EXPECT_EQ(c.stats()[0].accesses, 0u);
+    unsigned lat = c.access(0x1000, 4);
+    EXPECT_GT(lat, c.levels()[0].hit_latency);
+}
+
+} // namespace
+} // namespace el::mem
