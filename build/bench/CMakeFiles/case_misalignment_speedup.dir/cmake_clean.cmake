@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_misalignment_speedup.dir/case_misalignment_speedup.cc.o"
+  "CMakeFiles/case_misalignment_speedup.dir/case_misalignment_speedup.cc.o.d"
+  "case_misalignment_speedup"
+  "case_misalignment_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_misalignment_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_time_distribution.dir/fig6_time_distribution.cc.o"
+  "CMakeFiles/fig6_time_distribution.dir/fig6_time_distribution.cc.o.d"
+  "fig6_time_distribution"
+  "fig6_time_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_time_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vs_ia32_platform.dir/fig8_vs_ia32_platform.cc.o"
+  "CMakeFiles/fig8_vs_ia32_platform.dir/fig8_vs_ia32_platform.cc.o.d"
+  "fig8_vs_ia32_platform"
+  "fig8_vs_ia32_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vs_ia32_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_claims.dir/scalar_claims.cc.o"
+  "CMakeFiles/scalar_claims.dir/scalar_claims.cc.o.d"
+  "scalar_claims"
+  "scalar_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

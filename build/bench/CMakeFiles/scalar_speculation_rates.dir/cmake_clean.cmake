@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_speculation_rates.dir/scalar_speculation_rates.cc.o"
+  "CMakeFiles/scalar_speculation_rates.dir/scalar_speculation_rates.cc.o.d"
+  "scalar_speculation_rates"
+  "scalar_speculation_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_speculation_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

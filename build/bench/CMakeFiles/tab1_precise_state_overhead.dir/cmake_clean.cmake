@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_precise_state_overhead.dir/tab1_precise_state_overhead.cc.o"
+  "CMakeFiles/tab1_precise_state_overhead.dir/tab1_precise_state_overhead.cc.o.d"
+  "tab1_precise_state_overhead"
+  "tab1_precise_state_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_precise_state_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_showcase.dir/fp_showcase.cpp.o"
+  "CMakeFiles/fp_showcase.dir/fp_showcase.cpp.o.d"
+  "fp_showcase"
+  "fp_showcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_showcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

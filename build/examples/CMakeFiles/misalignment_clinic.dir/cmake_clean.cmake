@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misalignment_clinic.dir/misalignment_clinic.cpp.o"
+  "CMakeFiles/misalignment_clinic.dir/misalignment_clinic.cpp.o.d"
+  "misalignment_clinic"
+  "misalignment_clinic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misalignment_clinic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

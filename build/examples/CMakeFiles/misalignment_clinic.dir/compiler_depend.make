@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for misalignment_clinic.
+# This may be replaced when dependencies are built.

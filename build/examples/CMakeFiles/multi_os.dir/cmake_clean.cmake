@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_os.dir/multi_os.cpp.o"
+  "CMakeFiles/multi_os.dir/multi_os.cpp.o.d"
+  "multi_os"
+  "multi_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

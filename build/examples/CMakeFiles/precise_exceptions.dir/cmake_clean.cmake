@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precise_exceptions.dir/precise_exceptions.cpp.o"
+  "CMakeFiles/precise_exceptions.dir/precise_exceptions.cpp.o.d"
+  "precise_exceptions"
+  "precise_exceptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precise_exceptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for precise_exceptions.
+# This may be replaced when dependencies are built.

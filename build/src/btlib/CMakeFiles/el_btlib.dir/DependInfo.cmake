@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btlib/btos.cc" "src/btlib/CMakeFiles/el_btlib.dir/btos.cc.o" "gcc" "src/btlib/CMakeFiles/el_btlib.dir/btos.cc.o.d"
+  "/root/repo/src/btlib/os_sim.cc" "src/btlib/CMakeFiles/el_btlib.dir/os_sim.cc.o" "gcc" "src/btlib/CMakeFiles/el_btlib.dir/os_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/el_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/el_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ia32/CMakeFiles/el_ia32.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipf/CMakeFiles/el_ipf.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/el_guest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/el_btlib.dir/btos.cc.o"
+  "CMakeFiles/el_btlib.dir/btos.cc.o.d"
+  "CMakeFiles/el_btlib.dir/os_sim.cc.o"
+  "CMakeFiles/el_btlib.dir/os_sim.cc.o.d"
+  "libel_btlib.a"
+  "libel_btlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/el_btlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

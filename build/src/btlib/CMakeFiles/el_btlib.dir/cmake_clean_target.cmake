@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libel_btlib.a"
+)

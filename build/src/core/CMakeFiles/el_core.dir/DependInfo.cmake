@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/el_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/el_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/emit_env.cc" "src/core/CMakeFiles/el_core.dir/emit_env.cc.o" "gcc" "src/core/CMakeFiles/el_core.dir/emit_env.cc.o.d"
+  "/root/repo/src/core/emit_env_state.cc" "src/core/CMakeFiles/el_core.dir/emit_env_state.cc.o" "gcc" "src/core/CMakeFiles/el_core.dir/emit_env_state.cc.o.d"
+  "/root/repo/src/core/il.cc" "src/core/CMakeFiles/el_core.dir/il.cc.o" "gcc" "src/core/CMakeFiles/el_core.dir/il.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/el_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/el_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/sched.cc" "src/core/CMakeFiles/el_core.dir/sched.cc.o" "gcc" "src/core/CMakeFiles/el_core.dir/sched.cc.o.d"
+  "/root/repo/src/core/templates.cc" "src/core/CMakeFiles/el_core.dir/templates.cc.o" "gcc" "src/core/CMakeFiles/el_core.dir/templates.cc.o.d"
+  "/root/repo/src/core/templates_fp.cc" "src/core/CMakeFiles/el_core.dir/templates_fp.cc.o" "gcc" "src/core/CMakeFiles/el_core.dir/templates_fp.cc.o.d"
+  "/root/repo/src/core/translator.cc" "src/core/CMakeFiles/el_core.dir/translator.cc.o" "gcc" "src/core/CMakeFiles/el_core.dir/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/el_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/el_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ia32/CMakeFiles/el_ia32.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipf/CMakeFiles/el_ipf.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/el_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/btlib/CMakeFiles/el_btlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/el_core.dir/analysis.cc.o"
+  "CMakeFiles/el_core.dir/analysis.cc.o.d"
+  "CMakeFiles/el_core.dir/emit_env.cc.o"
+  "CMakeFiles/el_core.dir/emit_env.cc.o.d"
+  "CMakeFiles/el_core.dir/emit_env_state.cc.o"
+  "CMakeFiles/el_core.dir/emit_env_state.cc.o.d"
+  "CMakeFiles/el_core.dir/il.cc.o"
+  "CMakeFiles/el_core.dir/il.cc.o.d"
+  "CMakeFiles/el_core.dir/runtime.cc.o"
+  "CMakeFiles/el_core.dir/runtime.cc.o.d"
+  "CMakeFiles/el_core.dir/sched.cc.o"
+  "CMakeFiles/el_core.dir/sched.cc.o.d"
+  "CMakeFiles/el_core.dir/templates.cc.o"
+  "CMakeFiles/el_core.dir/templates.cc.o.d"
+  "CMakeFiles/el_core.dir/templates_fp.cc.o"
+  "CMakeFiles/el_core.dir/templates_fp.cc.o.d"
+  "CMakeFiles/el_core.dir/translator.cc.o"
+  "CMakeFiles/el_core.dir/translator.cc.o.d"
+  "libel_core.a"
+  "libel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/el_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/image.cc" "src/guest/CMakeFiles/el_guest.dir/image.cc.o" "gcc" "src/guest/CMakeFiles/el_guest.dir/image.cc.o.d"
+  "/root/repo/src/guest/workloads.cc" "src/guest/CMakeFiles/el_guest.dir/workloads.cc.o" "gcc" "src/guest/CMakeFiles/el_guest.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/el_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/el_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ia32/CMakeFiles/el_ia32.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/el_guest.dir/image.cc.o"
+  "CMakeFiles/el_guest.dir/image.cc.o.d"
+  "CMakeFiles/el_guest.dir/workloads.cc.o"
+  "CMakeFiles/el_guest.dir/workloads.cc.o.d"
+  "libel_guest.a"
+  "libel_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/el_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

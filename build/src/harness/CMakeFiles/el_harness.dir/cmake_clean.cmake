@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/el_harness.dir/exec.cc.o"
+  "CMakeFiles/el_harness.dir/exec.cc.o.d"
+  "CMakeFiles/el_harness.dir/native.cc.o"
+  "CMakeFiles/el_harness.dir/native.cc.o.d"
+  "libel_harness.a"
+  "libel_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/el_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

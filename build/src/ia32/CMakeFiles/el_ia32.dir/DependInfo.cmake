@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ia32/assembler.cc" "src/ia32/CMakeFiles/el_ia32.dir/assembler.cc.o" "gcc" "src/ia32/CMakeFiles/el_ia32.dir/assembler.cc.o.d"
+  "/root/repo/src/ia32/decoder.cc" "src/ia32/CMakeFiles/el_ia32.dir/decoder.cc.o" "gcc" "src/ia32/CMakeFiles/el_ia32.dir/decoder.cc.o.d"
+  "/root/repo/src/ia32/fault.cc" "src/ia32/CMakeFiles/el_ia32.dir/fault.cc.o" "gcc" "src/ia32/CMakeFiles/el_ia32.dir/fault.cc.o.d"
+  "/root/repo/src/ia32/insn.cc" "src/ia32/CMakeFiles/el_ia32.dir/insn.cc.o" "gcc" "src/ia32/CMakeFiles/el_ia32.dir/insn.cc.o.d"
+  "/root/repo/src/ia32/interp.cc" "src/ia32/CMakeFiles/el_ia32.dir/interp.cc.o" "gcc" "src/ia32/CMakeFiles/el_ia32.dir/interp.cc.o.d"
+  "/root/repo/src/ia32/regs.cc" "src/ia32/CMakeFiles/el_ia32.dir/regs.cc.o" "gcc" "src/ia32/CMakeFiles/el_ia32.dir/regs.cc.o.d"
+  "/root/repo/src/ia32/state.cc" "src/ia32/CMakeFiles/el_ia32.dir/state.cc.o" "gcc" "src/ia32/CMakeFiles/el_ia32.dir/state.cc.o.d"
+  "/root/repo/src/ia32/timing.cc" "src/ia32/CMakeFiles/el_ia32.dir/timing.cc.o" "gcc" "src/ia32/CMakeFiles/el_ia32.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/el_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/el_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

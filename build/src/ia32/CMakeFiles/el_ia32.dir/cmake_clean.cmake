@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/el_ia32.dir/assembler.cc.o"
+  "CMakeFiles/el_ia32.dir/assembler.cc.o.d"
+  "CMakeFiles/el_ia32.dir/decoder.cc.o"
+  "CMakeFiles/el_ia32.dir/decoder.cc.o.d"
+  "CMakeFiles/el_ia32.dir/fault.cc.o"
+  "CMakeFiles/el_ia32.dir/fault.cc.o.d"
+  "CMakeFiles/el_ia32.dir/insn.cc.o"
+  "CMakeFiles/el_ia32.dir/insn.cc.o.d"
+  "CMakeFiles/el_ia32.dir/interp.cc.o"
+  "CMakeFiles/el_ia32.dir/interp.cc.o.d"
+  "CMakeFiles/el_ia32.dir/regs.cc.o"
+  "CMakeFiles/el_ia32.dir/regs.cc.o.d"
+  "CMakeFiles/el_ia32.dir/state.cc.o"
+  "CMakeFiles/el_ia32.dir/state.cc.o.d"
+  "CMakeFiles/el_ia32.dir/timing.cc.o"
+  "CMakeFiles/el_ia32.dir/timing.cc.o.d"
+  "libel_ia32.a"
+  "libel_ia32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/el_ia32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for el_ia32.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipf/bundle.cc" "src/ipf/CMakeFiles/el_ipf.dir/bundle.cc.o" "gcc" "src/ipf/CMakeFiles/el_ipf.dir/bundle.cc.o.d"
+  "/root/repo/src/ipf/code_cache.cc" "src/ipf/CMakeFiles/el_ipf.dir/code_cache.cc.o" "gcc" "src/ipf/CMakeFiles/el_ipf.dir/code_cache.cc.o.d"
+  "/root/repo/src/ipf/insn.cc" "src/ipf/CMakeFiles/el_ipf.dir/insn.cc.o" "gcc" "src/ipf/CMakeFiles/el_ipf.dir/insn.cc.o.d"
+  "/root/repo/src/ipf/machine.cc" "src/ipf/CMakeFiles/el_ipf.dir/machine.cc.o" "gcc" "src/ipf/CMakeFiles/el_ipf.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/el_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/el_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

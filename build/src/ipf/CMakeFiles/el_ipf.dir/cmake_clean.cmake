@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/el_ipf.dir/bundle.cc.o"
+  "CMakeFiles/el_ipf.dir/bundle.cc.o.d"
+  "CMakeFiles/el_ipf.dir/code_cache.cc.o"
+  "CMakeFiles/el_ipf.dir/code_cache.cc.o.d"
+  "CMakeFiles/el_ipf.dir/insn.cc.o"
+  "CMakeFiles/el_ipf.dir/insn.cc.o.d"
+  "CMakeFiles/el_ipf.dir/machine.cc.o"
+  "CMakeFiles/el_ipf.dir/machine.cc.o.d"
+  "libel_ipf.a"
+  "libel_ipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/el_ipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

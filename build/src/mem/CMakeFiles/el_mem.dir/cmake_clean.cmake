@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/el_mem.dir/cache_model.cc.o"
+  "CMakeFiles/el_mem.dir/cache_model.cc.o.d"
+  "CMakeFiles/el_mem.dir/memory.cc.o"
+  "CMakeFiles/el_mem.dir/memory.cc.o.d"
+  "libel_mem.a"
+  "libel_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/el_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

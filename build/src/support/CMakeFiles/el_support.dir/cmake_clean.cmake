@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/el_support.dir/logging.cc.o"
+  "CMakeFiles/el_support.dir/logging.cc.o.d"
+  "CMakeFiles/el_support.dir/stats.cc.o"
+  "CMakeFiles/el_support.dir/stats.cc.o.d"
+  "CMakeFiles/el_support.dir/strfmt.cc.o"
+  "CMakeFiles/el_support.dir/strfmt.cc.o.d"
+  "libel_support.a"
+  "libel_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/el_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_end2end_test.cc" "tests/CMakeFiles/test_core_end2end.dir/core_end2end_test.cc.o" "gcc" "tests/CMakeFiles/test_core_end2end.dir/core_end2end_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/el_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/el_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ia32/CMakeFiles/el_ia32.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipf/CMakeFiles/el_ipf.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/el_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/btlib/CMakeFiles/el_btlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/el_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/el_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

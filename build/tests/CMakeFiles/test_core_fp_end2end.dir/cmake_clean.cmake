@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_fp_end2end.dir/core_fp_end2end_test.cc.o"
+  "CMakeFiles/test_core_fp_end2end.dir/core_fp_end2end_test.cc.o.d"
+  "test_core_fp_end2end"
+  "test_core_fp_end2end.pdb"
+  "test_core_fp_end2end[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_fp_end2end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ia32_decode.dir/ia32_decode_test.cc.o"
+  "CMakeFiles/test_ia32_decode.dir/ia32_decode_test.cc.o.d"
+  "CMakeFiles/test_ia32_decode.dir/ia32_roundtrip_test.cc.o"
+  "CMakeFiles/test_ia32_decode.dir/ia32_roundtrip_test.cc.o.d"
+  "test_ia32_decode"
+  "test_ia32_decode.pdb"
+  "test_ia32_decode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ia32_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ia32_interp.dir/ia32_fpu_test.cc.o"
+  "CMakeFiles/test_ia32_interp.dir/ia32_fpu_test.cc.o.d"
+  "CMakeFiles/test_ia32_interp.dir/ia32_interp_test.cc.o"
+  "CMakeFiles/test_ia32_interp.dir/ia32_interp_test.cc.o.d"
+  "CMakeFiles/test_ia32_interp.dir/ia32_simd_test.cc.o"
+  "CMakeFiles/test_ia32_interp.dir/ia32_simd_test.cc.o.d"
+  "test_ia32_interp"
+  "test_ia32_interp.pdb"
+  "test_ia32_interp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ia32_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_diff.dir/random_diff_test.cc.o"
+  "CMakeFiles/test_random_diff.dir/random_diff_test.cc.o.d"
+  "test_random_diff"
+  "test_random_diff.pdb"
+  "test_random_diff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_ia32_decode[1]_include.cmake")
+include("/root/repo/build/tests/test_ipf[1]_include.cmake")
+include("/root/repo/build/tests/test_ia32_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_core_end2end[1]_include.cmake")
+include("/root/repo/build/tests/test_core_fp_end2end[1]_include.cmake")
+include("/root/repo/build/tests/test_core_units[1]_include.cmake")
+include("/root/repo/build/tests/test_random_diff[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_decode[1]_include.cmake")
