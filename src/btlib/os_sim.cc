@@ -1,6 +1,7 @@
 #include "btlib/os_sim.hh"
 
 #include "ia32/regs.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 
 namespace el::btlib
@@ -120,6 +121,8 @@ SimOsBase::vtable()
 uint64_t
 SimOsBase::allocPages(uint64_t bytes)
 {
+    if (faultInjected(FaultSite::BtosAlloc))
+        return 0; // Transient allocation failure (chaos testing).
     uint64_t base = alloc_next_;
     uint64_t mapped = (bytes + mem::Memory::page_size - 1) &
                       ~(mem::Memory::page_size - 1);

@@ -24,6 +24,18 @@ enum class BlockKind : uint8_t
     Hot,
 };
 
+/**
+ * Hot-coverage lifecycle of a cold block. Replaces the historical
+ * hot_version = -1 / -2 sentinels so recovery code reads declaratively.
+ */
+enum class HotState : uint8_t
+{
+    Eligible,   //!< May register as a hot candidate and be promoted.
+    Covered,    //!< A hot trace covers this block (hot_version valid).
+    PinnedCold, //!< Hot translation failed hot_retry_limit times;
+                //!< permanently executes as cold code.
+};
+
 /** Misalignment-handling stage of a cold block (section 5). */
 enum class MisalignStage : uint8_t
 {
@@ -152,7 +164,11 @@ struct BlockInfo
 
     // Superseded by a newer translation (kept for stable ids).
     bool invalidated = false;
-    int32_t hot_version = -1;  //!< Hot block id covering this cold block.
+
+    // Hot-coverage lifecycle (cold blocks).
+    HotState hot_state = HotState::Eligible;
+    int32_t hot_version = -1;  //!< Hot block id when hot_state == Covered.
+    uint32_t hot_fail_count = 0; //!< Aborted hot sessions for this block.
 };
 
 } // namespace el::core

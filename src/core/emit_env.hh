@@ -285,7 +285,8 @@ class EmitEnv
     // ----- head/tail helpers used by the codegen drivers ---------------
     void emitUseCounter(int64_t ctr_off, uint32_t threshold);
     void emitEdgeCounter(int64_t ctr_off, int16_t pred);
-    void emitSmcGuard(uint32_t guest_addr, uint64_t expected_bytes);
+    void emitSmcGuard(uint32_t guest_addr, uint64_t expected_bytes,
+                      uint32_t window);
     void emitFpGuard(GuardInfo *guard);
     void emitMmxGuard(GuardInfo *guard);
     void emitXmmGuard(GuardInfo *guard);

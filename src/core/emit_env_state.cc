@@ -730,7 +730,8 @@ EmitEnv::emitEdgeCounter(int64_t ctr_off, int16_t pred)
 }
 
 void
-EmitEnv::emitSmcGuard(uint32_t guest_addr, uint64_t expected_bytes)
+EmitEnv::emitSmcGuard(uint32_t guest_addr, uint64_t expected_bytes,
+                      uint32_t window)
 {
     setBucket(ipf::Bucket::Overhead);
     int16_t a = immGr(guest_addr);
@@ -752,7 +753,10 @@ EmitEnv::emitSmcGuard(uint32_t guest_addr, uint64_t expected_bytes)
     Il x = mk(IpfOp::Exit);
     x.qp = p;
     x.ins.exit_reason = ipf::ExitReason::SmcDetected;
-    x.ins.exit_payload = guest_addr;
+    // Runtime decodes (window << 32) | addr to invalidate exactly the
+    // guarded bytes instead of a whole page.
+    x.ins.exit_payload =
+        (static_cast<uint64_t>(window) << 32) | guest_addr;
     emit(x);
     clearBucket();
 }

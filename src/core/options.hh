@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "support/faultinject.hh"
+
 namespace el::core
 {
 
@@ -61,6 +63,22 @@ struct Options
     // ----- limits ---------------------------------------------------
     uint64_t max_run_cycles = 400ULL * 1000 * 1000;
     uint32_t lookup_entries = 1024;  //!< Indirect-branch table entries.
+
+    // ----- robustness / graceful degradation ------------------------
+    uint64_t code_cache_capacity = 0; //!< Max cached IPF instructions;
+                                      //!< 0 = unbounded (no GC).
+    uint32_t cache_headroom = 512;    //!< Flush before translating when
+                                      //!< fewer slots than this remain.
+    uint32_t hot_retry_limit = 3;     //!< Failed hot sessions before a
+                                      //!< block is pinned cold forever.
+    uint32_t btos_alloc_retries = 8;  //!< Attempts for the runtime-area
+                                      //!< allocation before InitError.
+    uint32_t interp_fallback_insns = 32; //!< Instructions interpreted
+                                         //!< when translation aborts.
+    double cache_flush_cost = 20000.0;   //!< Overhead cycles per flush.
+
+    // ----- fault injection (chaos testing; off by default) ----------
+    FaultConfig fault;
 };
 
 } // namespace el::core

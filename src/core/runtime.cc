@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "ia32/flags.hh"
+#include "ia32/interp.hh"
 #include "ipf/regs.hh"
 #include "support/bitfield.hh"
 #include "support/logging.hh"
@@ -17,15 +18,27 @@ using ipf::StopKind;
 
 Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
                  Options options)
-    : mem_(memory), btos_(vtable), options_(options)
+    : mem_(memory), btos_(vtable), options_(options),
+      inject_scope_(options_.fault)
 {
     if (!btos_.ok()) {
         el_warn("BTOS handshake failed: %s", btos_.error().c_str());
         return;
     }
     machine_ = std::make_unique<ipf::Machine>(cache_, mem_);
-    rt_base_ = btos_.allocPages(rt::area_size);
-    el_assert(rt_base_ != 0, "BTLib failed to allocate the runtime area");
+    // The runtime area is the one allocation we cannot live without;
+    // retry through transient BTOS failures before giving up.
+    for (uint32_t attempt = 0; rt_base_ == 0; ++attempt) {
+        rt_base_ = btos_.allocPages(rt::area_size);
+        if (rt_base_ != 0)
+            break;
+        stats_.add("recover.btos_alloc_fail");
+        if (attempt + 1 >= options_.btos_alloc_retries) {
+            el_warn("BTLib failed to allocate the runtime area "
+                    "(%u attempts)", attempt + 1);
+            return;
+        }
+    }
     translator_ =
         std::make_unique<Translator>(options_, mem_, cache_, rt_base_);
 }
@@ -354,13 +367,24 @@ Runtime::recoverGuard(BlockInfo *block, int64_t payload_kind)
 }
 
 void
+Runtime::noteHotFailure(BlockInfo *block)
+{
+    stats_.add("recover.hot_abort");
+    if (++block->hot_fail_count < options_.hot_retry_limit)
+        return; // Still eligible: the use counter re-registers it.
+    block->hot_state = HotState::PinnedCold;
+    stats_.add("recover.hot_pinned");
+    translator_->disableHeat(block);
+}
+
+void
 Runtime::registerHot(int32_t block_id)
 {
     BlockInfo *block = translator_->blockById(block_id);
     if (!block || block->kind != BlockKind::Cold || block->invalidated)
         return;
-    if (block->hot_version != -1) {
-        // Already covered (or permanently failed): silence the counter.
+    if (block->hot_state != HotState::Eligible) {
+        // Already covered (or pinned cold): silence the counter.
         translator_->disableHeat(block);
         return;
     }
@@ -384,18 +408,66 @@ Runtime::registerHot(int32_t block_id)
     batch.swap(hot_queue_);
     for (int32_t id : batch) {
         BlockInfo *cand = translator_->blockById(id);
-        if (!cand || cand->invalidated || cand->hot_version >= 0)
+        if (!cand || cand->invalidated ||
+            cand->hot_state != HotState::Eligible)
             continue;
         SpecContext spec = currentSpec();
-        if (!translator_->translateHot(cand->entry_eip, spec)) {
-            // Remember the failure so this block is not re-queued on
-            // every subsequent threshold hit.
-            cand->hot_version = -2;
-            translator_->disableHeat(cand);
+        if (!translator_->translateHot(cand->entry_eip, spec) &&
+            !cand->invalidated) {
+            // Bounded retry: a transient abort leaves the block
+            // eligible so the next threshold hit tries again; repeat
+            // offenders are pinned cold (graceful degradation, not an
+            // abort loop).
+            noteHotFailure(cand);
         }
     }
     machine_->chargeCycles(Bucket::Overhead,
                            translator_->takePendingOverheadCycles());
+}
+
+bool
+Runtime::interpretFallback(ia32::State *state, RunResult *result,
+                           uint32_t *next_eip)
+{
+    // Translation aborted (injected or otherwise unrecoverable): make
+    // forward progress under the reference interpreter so the guest
+    // never notices, then hand back to translated execution.
+    storeContext(state, *next_eip);
+    ia32::Interpreter interp(*state, mem_);
+    for (uint32_t n = 0; n < options_.interp_fallback_insns; ++n) {
+        ia32::StepResult step = interp.step();
+        stats_.add("recover.interp_steps");
+        if (step.kind == ia32::StepKind::Ok)
+            continue;
+        if (step.kind == ia32::StepKind::Halt) {
+            result->kind = RunResult::Kind::Exit;
+            result->exit_code = 0;
+            return false;
+        }
+        if (step.kind == ia32::StepKind::Int) {
+            btlib::SyscallResult res =
+                btos_.systemService(*state, step.vector);
+            if (res.exit) {
+                result->kind = RunResult::Kind::Exit;
+                result->exit_code = res.exit_code;
+                return false;
+            }
+            continue;
+        }
+        // step.kind == Fault.
+        if (step.fault.injected) {
+            // A storm-injected transient: architecturally nothing
+            // happened, so simply retry the instruction.
+            stats_.add("recover.storm_fault");
+            continue;
+        }
+        if (!deliverFault(state, step.fault, result))
+            return false;
+        // The handler frame is in *state now; keep stepping from it.
+    }
+    loadContext(*state);
+    *next_eip = state->eip;
+    return true;
 }
 
 bool
@@ -418,7 +490,7 @@ RunResult
 Runtime::run(ia32::State &state)
 {
     RunResult result;
-    if (!btos_.ok()) {
+    if (!initOk()) {
         result.kind = RunResult::Kind::InitError;
         return result;
     }
@@ -441,6 +513,14 @@ Runtime::run(ia32::State &state)
         force_cold_once = false;
         fresh_cold_once = false;
         if (entry < 0) {
+            if (translator_->takeInjectedAbort()) {
+                // Injected translation abort: fall back to the
+                // interpreter for a few instructions and retry.
+                stats_.add("recover.xlate_abort");
+                if (!interpretFallback(&state, &result, &next_eip))
+                    return result;
+                continue;
+            }
             // Undecodable code at next_eip.
             ia32::Fault fault;
             fault.kind = FaultKind::InvalidOpcode;
@@ -467,7 +547,9 @@ Runtime::run(ia32::State &state)
         }
         el_assert(stop.kind != StopKind::BadIp, "machine left the cache");
 
-        const ipf::Instr &instr = cache_.at(stop.instr_index);
+        // Copy, not reference: dispatch below may flush the cache,
+        // which would leave a reference dangling.
+        const ipf::Instr instr = cache_.at(stop.instr_index);
         BlockInfo *block = translator_->blockById(instr.meta.block_id);
 
         if (stop.kind == StopKind::MemFault) {
@@ -497,24 +579,23 @@ Runtime::run(ia32::State &state)
           case ExitReason::LinkMiss: {
             uint32_t target = static_cast<uint32_t>(stop.payload);
             stats_.add("exits.link_miss");
+            // Any translation below may flush the cache; never patch
+            // an exit index from a dead generation.
+            uint64_t gen = cache_.generation();
             // Hot-to-hot chaining: when hot code falls off its trace
             // tail, extend the hot tiling at the target immediately
             // instead of decaying into cold execution.
             if (block && block->kind == BlockKind::Hot &&
                 options_.enable_hot_phase) {
-                BlockInfo *tblock =
-                    translator_->blockById(-1); // placeholder
-                (void)tblock;
                 SpecContext spec = currentSpec();
                 BlockInfo *cold =
                     translator_->dispatchCold(target, spec, false);
                 if (cold && cold->kind == BlockKind::Cold &&
-                    cold->hot_version == -1) {
+                    cold->hot_state == HotState::Eligible) {
                     if (translator_->translateHot(target, spec)) {
                         stats_.add("hot.chained");
-                    } else {
-                        cold->hot_version = -2;
-                        translator_->disableHeat(cold);
+                    } else if (!cold->invalidated) {
+                        noteHotFailure(cold);
                     }
                     machine_->chargeCycles(
                         Bucket::Overhead,
@@ -522,7 +603,8 @@ Runtime::run(ia32::State &state)
                 }
             }
             int64_t tentry = dispatchEntry(target, false);
-            if (tentry >= 0 && options_.enable_chaining) {
+            if (tentry >= 0 && options_.enable_chaining &&
+                cache_.generation() == gen) {
                 cache_.patchToBranch(stop.instr_index, tentry);
                 stats_.add("links.patched");
             }
@@ -608,8 +690,12 @@ Runtime::run(ia32::State &state)
 
           case ExitReason::SmcDetected: {
             stats_.add("exits.smc");
-            uint32_t addr = static_cast<uint32_t>(stop.payload);
-            translator_->invalidateRange(addr, 4096);
+            // Payload: (guard window width << 32) | guarded address.
+            // Invalidate exactly the guarded window, not a whole page.
+            uint32_t addr =
+                static_cast<uint32_t>(stop.payload & 0xffffffff);
+            uint32_t width = static_cast<uint32_t>(stop.payload >> 32);
+            translator_->invalidateRange(addr, width ? width : 4096);
             next_eip = block ? block->entry_eip : addr;
             break;
           }

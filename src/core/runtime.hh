@@ -22,6 +22,7 @@
 #include "ia32/state.hh"
 #include "ipf/machine.hh"
 #include "mem/memory.hh"
+#include "support/faultinject.hh"
 #include "support/stats.hh"
 
 namespace el::core
@@ -50,9 +51,12 @@ class Runtime
     Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
             Options options = {});
 
-    /** False if the BTOS version handshake failed. */
-    bool initOk() const { return btos_.ok(); }
+    /** False if the BTOS handshake or runtime-area allocation failed. */
+    bool initOk() const { return btos_.ok() && rt_base_ != 0; }
     const std::string &initError() const { return btos_.error(); }
+
+    /** The fault injector active for this runtime (null: no injection). */
+    const FaultInjector *faultInjector() const { return inject_scope_.get(); }
 
     /** Run the guest from state.eip until exit/fault/limit. */
     RunResult run(ia32::State &state);
@@ -93,6 +97,21 @@ class Runtime
     /** Handle the RegisterHot protocol; may run a hot session. */
     void registerHot(int32_t block_id);
 
+    /**
+     * Bounded-retry accounting for a failed hot session: after
+     * options_.hot_retry_limit failures the block is pinned cold.
+     */
+    void noteHotFailure(BlockInfo *block);
+
+    /**
+     * Safety net when translation aborts (fault injection): execute a
+     * few guest instructions under the reference interpreter, then
+     * resume translated execution. Returns false when run() must
+     * return (guest exit / unhandled fault), with @p result filled.
+     */
+    bool interpretFallback(ia32::State *state, RunResult *result,
+                           uint32_t *next_eip);
+
     /** Deliver a guest fault; returns true to continue running. */
     bool deliverFault(ia32::State *state, const ia32::Fault &fault,
                       RunResult *result);
@@ -100,6 +119,7 @@ class Runtime
     mem::Memory &mem_;
     btlib::BtOsClient btos_;
     Options options_;
+    FaultInjectorScope inject_scope_; //!< Installed for our lifetime.
     ipf::CodeCache cache_;
     std::unique_ptr<ipf::Machine> machine_;
     std::unique_ptr<Translator> translator_;

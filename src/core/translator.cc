@@ -1,6 +1,7 @@
 #include "core/translator.hh"
 
 #include "ia32/decoder.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 
 namespace el::core
@@ -15,6 +16,7 @@ Translator::Translator(const Options &opts, mem::Memory &memory,
                        ipf::CodeCache &cache, uint64_t rt_base)
     : options(opts), mem_(memory), cache_(cache), rt_base_(rt_base)
 {
+    cache_.setCapacity(options.code_cache_capacity);
 }
 
 bool
@@ -40,10 +42,45 @@ int64_t
 Translator::allocProfile(uint32_t bytes)
 {
     int64_t off = profile_next_;
-    profile_next_ += (bytes + 7) & ~7u;
-    el_assert(profile_next_ < static_cast<int64_t>(rt::area_size),
-              "profile area exhausted");
+    int64_t next = profile_next_ + ((bytes + 7) & ~7u);
+    if (next >= static_cast<int64_t>(rt::area_size)) {
+        // Graceful: the block runs uninstrumented rather than the
+        // translator asserting. Flush GC reclaims the area eventually.
+        stats.add("recover.profile_exhausted");
+        return -1;
+    }
+    profile_next_ = next;
     return off;
+}
+
+void
+Translator::flushCodeCache()
+{
+    for (auto &bp : blocks_) {
+        if (!bp->invalidated)
+            bp->invalidated = true;
+    }
+    cold_map_.clear();
+    hot_map_.clear();
+    cache_.flushAll();
+
+    // Stale EIP -> cache-index mappings in the indirect fast-lookup
+    // table and the bump-allocated profile counters all refer to the
+    // dead generation; zero both regions and reclaim the profile area.
+    for (int64_t off = rt::lookup_table; off < profile_next_; off += 8)
+        mem_.writePriv(rt_base_ + static_cast<uint64_t>(off), 8, 0);
+    profile_next_ = rt::profile_base;
+
+    pending_cycles_ += options.cache_flush_cost;
+    stats.add("recover.cache_flush");
+    stats.set("cache.generation", cache_.generation());
+}
+
+void
+Translator::maybeFlushForRoom()
+{
+    if (cache_.exhausted(options.cache_headroom))
+        flushCodeCache();
 }
 
 uint32_t
@@ -107,7 +144,8 @@ Translator::dispatchCold(uint32_t eip, const SpecContext &spec,
 void
 Translator::disableHeat(BlockInfo *block)
 {
-    if (!block || block->cache_entry < 0)
+    // Invalidated blocks carry indices from a dead cache generation.
+    if (!block || block->invalidated || block->cache_entry < 0)
         return;
     for (int64_t i = block->cache_entry; i < block->cache_end; ++i) {
         ipf::Instr &in = cache_.at(i);
@@ -346,6 +384,25 @@ BlockInfo *
 Translator::translateCold(uint32_t eip, const SpecContext &spec,
                           MisalignStage stage)
 {
+    // The flag must describe this attempt only: an abort injected at a
+    // tolerant call site (link patching, hot chaining) must not latch
+    // and reroute a later genuine decode failure.
+    injected_abort_ = false;
+    if (faultInjected(FaultSite::ColdXlateAbort)) {
+        // Injected mid-session abort: report failure distinctly so the
+        // runtime falls back to the interpreter instead of raising #UD.
+        injected_abort_ = true;
+        stats.add("xlate.cold_aborts_injected");
+        return nullptr;
+    }
+    maybeFlushForRoom();
+    return translateColdImpl(eip, spec, stage, true);
+}
+
+BlockInfo *
+Translator::translateColdImpl(uint32_t eip, const SpecContext &spec,
+                              MisalignStage stage, bool allow_flush_retry)
+{
     Region region = discoverRegion(mem_, eip, options.analysis_window);
     computeFlagsLiveness(region);
     const BasicBlock *bb = region.find(eip);
@@ -373,6 +430,11 @@ Translator::translateCold(uint32_t eip, const SpecContext &spec,
                         static_cast<int64_t>(kind));
         if (!finishBlock(env, info, false))
             return nullptr;
+        if (cache_.overCapacity() && allow_flush_retry) {
+            stats.add("recover.cache_overflow_retry");
+            flushCodeCache();
+            return translateColdImpl(eip, spec, stage, false);
+        }
         cold_map_[eip].push_back({spec, info});
         blocks_.push_back(std::move(info_holder));
         return info;
@@ -402,7 +464,10 @@ Translator::translateCold(uint32_t eip, const SpecContext &spec,
                                       : 0);
         if (!options.enable_misalign_avoidance) {
             attempt.setAccessPolicy(MisalignPolicy::Plain);
-        } else if (stage == MisalignStage::Light) {
+        } else if (stage == MisalignStage::Light ||
+                   info->misalign_ctr_off < 0) {
+            // Stage 1, or stage 2 whose per-access counters could not
+            // be allocated (profile area exhausted): detect-and-exit.
             attempt.setAccessPolicy(MisalignPolicy::DetectExit);
         } else {
             attempt.setAccessPolicy(MisalignPolicy::CountAndAvoid, 1);
@@ -446,7 +511,7 @@ Translator::translateCold(uint32_t eip, const SpecContext &spec,
         if (mem_.check(eip, 1, mem::PermWrite)) {
             uint64_t bytes = 0;
             mem_.readPriv(eip, 8, &bytes);
-            attempt.emitSmcGuard(eip, bytes);
+            attempt.emitSmcGuard(eip, bytes, 8);
             info->smc_guarded = true;
         }
         attempt.emitFpGuard(&info->guard);
@@ -455,8 +520,9 @@ Translator::translateCold(uint32_t eip, const SpecContext &spec,
         if (options.enable_hot_phase) {
             if (info->use_ctr_off < 0)
                 info->use_ctr_off = allocProfile(4);
-            attempt.emitUseCounter(info->use_ctr_off,
-                                   options.heat_threshold);
+            if (info->use_ctr_off >= 0)
+                attempt.emitUseCounter(info->use_ctr_off,
+                                       options.heat_threshold);
         }
 
         info->stubs.clear();
@@ -472,6 +538,14 @@ Translator::translateCold(uint32_t eip, const SpecContext &spec,
             limit /= 2;
             stats.add("xlate.cold_retries");
         }
+    }
+
+    if (cache_.overCapacity() && allow_flush_retry) {
+        // The finished block itself crossed the cap: flush everything
+        // (including it) and rebuild once into the fresh generation.
+        stats.add("recover.cache_overflow_retry");
+        flushCodeCache();
+        return translateColdImpl(eip, spec, stage, false);
     }
 
     info->misalign_accesses = access_count;
@@ -537,6 +611,13 @@ Translator::selectTrace(const Region &region, uint32_t eip, bool *loops)
 BlockInfo *
 Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
 {
+    if (faultInjected(FaultSite::HotXlateAbort)) {
+        // Injected optimization-session abort; the caller's bounded
+        // retry policy decides whether the block stays eligible.
+        stats.add("hot.aborts_injected");
+        return nullptr;
+    }
+    maybeFlushForRoom();
     Region region = discoverRegion(mem_, entry_eip, 32);
     computeFlagsLiveness(region);
     bool loops = false;
@@ -694,6 +775,14 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
         return nullptr;
     }
 
+    if (cache_.overCapacity()) {
+        // The trace crossed the cap: flush it together with everything
+        // else; the caller treats this as a failed (retryable) session.
+        stats.add("recover.cache_overflow_retry");
+        flushCodeCache();
+        return nullptr;
+    }
+
     stats.add("xlate.hot_blocks");
     stats.add("xlate.hot_insns", info->insn_count);
     stats.add("xlate.hot_trace_blocks", trace.size() * copies);
@@ -718,6 +807,7 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
                 entry.exit_reason = ExitReason::None;
                 entry.stop = true;
                 v.block->hot_version = info->id;
+                v.block->hot_state = HotState::Covered;
             }
         }
     }
@@ -730,8 +820,10 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
         if (it == cold_map_.end())
             continue;
         for (Variant &v : it->second) {
-            if (!v.block->invalidated && v.block->hot_version == -1) {
+            if (!v.block->invalidated &&
+                v.block->hot_state == HotState::Eligible) {
                 v.block->hot_version = info->id;
+                v.block->hot_state = HotState::Covered;
                 disableHeat(v.block);
             }
         }

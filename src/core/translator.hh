@@ -76,6 +76,27 @@ class Translator
     /** Drop every translation overlapping [addr, addr+len) (SMC). */
     void invalidateRange(uint32_t addr, uint32_t len);
 
+    /**
+     * Flush-and-retranslate GC: drop the whole code cache (bumping its
+     * generation), invalidate every block, clear the indirect-lookup
+     * table and reclaim the profile-counter area. Execution rebuilds
+     * lazily from cold translations. Counted as recover.cache_flush.
+     */
+    void flushCodeCache();
+
+    /**
+     * Consume the injected-abort flag: true when the most recent
+     * translation failure was a fault-injection abort (the runtime then
+     * falls back to the interpreter instead of raising #UD).
+     */
+    bool
+    takeInjectedAbort()
+    {
+        bool f = injected_abort_;
+        injected_abort_ = false;
+        return f;
+    }
+
     BlockInfo *blockById(int32_t id);
 
     /** Stop a cold block's use counter from re-registering (covered by
@@ -110,8 +131,20 @@ class Translator
     /** Does @p spec satisfy the entry conditions of @p block? */
     static bool specMatches(const BlockInfo &block, const SpecContext &spec);
 
-    /** Allocate @p bytes in the profile area; returns the offset. */
+    /**
+     * Allocate @p bytes in the profile area; returns the offset, or -1
+     * when the area is exhausted (callers skip their counters — the
+     * block simply never registers hot).
+     */
     int64_t allocProfile(uint32_t bytes);
+
+    /** Flush ahead of a translation if the cache is near its cap. */
+    void maybeFlushForRoom();
+
+    /** Cold translation body; @p allow_flush_retry bounds recursion. */
+    BlockInfo *translateColdImpl(uint32_t eip, const SpecContext &spec,
+                                 MisalignStage stage,
+                                 bool allow_flush_retry);
 
     /** Translate the final control transfer of a block/trace. */
     void emitBlockEnd(EmitEnv &env, const BasicBlock &bb,
@@ -135,6 +168,7 @@ class Translator
     std::vector<std::unique_ptr<BlockInfo>> blocks_;
     int64_t profile_next_ = rt::profile_base;
     double pending_cycles_ = 0;
+    bool injected_abort_ = false;
 };
 
 } // namespace el::core

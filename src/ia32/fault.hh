@@ -37,6 +37,9 @@ struct Fault
     uint32_t eip = 0;        //!< IA-32 IP of the faulting instruction.
     uint32_t addr = 0;       //!< Faulting data address (PageFault/#GP).
     bool is_write = false;   //!< PageFault direction.
+    bool injected = false;   //!< Fault-injection storm artifact, not an
+                             //!< architectural fault: recovery retries
+                             //!< instead of delivering to the guest.
 
     bool valid() const { return kind != FaultKind::None; }
 

@@ -5,6 +5,7 @@
 
 #include "ia32/flags.hh"
 #include "support/bitfield.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 
 namespace el::ia32
@@ -160,6 +161,20 @@ Interpreter::fpuCheckPush(uint32_t eip, Fault *fault)
 StepResult
 Interpreter::step()
 {
+    if (faultInjected(FaultSite::GuestFaultStorm)) {
+        // Synthetic transient fault storm: nothing architectural
+        // happened (state untouched), so recovery can simply retry.
+        StepResult res;
+        res.kind = StepKind::Fault;
+        FaultInjector *fi = activeFaultInjector();
+        static const FaultKind storm_kinds[] = {
+            FaultKind::PageFault, FaultKind::DivideError,
+            FaultKind::FpNumericError};
+        res.fault = simpleFault(storm_kinds[fi ? fi->pick(3) : 0],
+                                state_.eip);
+        res.fault.injected = true;
+        return res;
+    }
     Insn insn;
     if (!decode(mem_, state_.eip, &insn)) {
         StepResult res;

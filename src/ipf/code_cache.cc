@@ -1,5 +1,6 @@
 #include "ipf/code_cache.hh"
 
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 
 namespace el::ipf
@@ -32,6 +33,23 @@ CodeCache::invalidateEntry(int64_t idx, ExitReason reason, int64_t payload)
     i.exit_payload = payload;
     i.target = -1;
     i.stop = true;
+}
+
+bool
+CodeCache::exhausted(size_t headroom)
+{
+    if (capacity_ != 0 && code_.size() + headroom > capacity_)
+        return true;
+    if (faultInjected(FaultSite::CacheExhaust))
+        return true;
+    return false;
+}
+
+void
+CodeCache::flushAll()
+{
+    code_.clear();
+    ++generation_;
 }
 
 uint64_t

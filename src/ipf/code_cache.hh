@@ -10,6 +10,14 @@
  *    target block is translated ("connect predecessors"), and
  *  - invalidating a block (SMC / misalignment regeneration / GC) by
  *    turning its entry into a Resync exit.
+ *
+ * The cache can be bounded: setCapacity() installs a cap, exhausted()
+ * reports when the next translation would not fit (or when the
+ * fault-injection harness forces synthetic exhaustion), and flushAll()
+ * implements the generation-style GC — drop everything, bump the
+ * generation counter, and let the translator rebuild from scratch.
+ * Stale cache indices from older generations are detected by comparing
+ * generation() before and after any call that may translate.
  */
 
 #ifndef EL_IPF_CODE_CACHE_HH
@@ -32,6 +40,8 @@ class CodeCache
     emit(const Instr &instr)
     {
         code_.push_back(instr);
+        if (code_.size() > high_water_)
+            high_water_ = code_.size();
         return static_cast<int64_t>(code_.size()) - 1;
     }
 
@@ -58,8 +68,46 @@ class CodeCache
     /** Total instructions emitted with each bucket tag (code-size stats). */
     uint64_t countBucket(Bucket bucket) const;
 
+    // ----- bounded-cache support (flush-and-retranslate GC) -----------
+
+    /** Install a capacity in instructions; 0 means unbounded. */
+    void setCapacity(size_t cap) { capacity_ = cap; }
+    size_t capacity() const { return capacity_; }
+
+    /** True if @p idx belongs to the current generation's code. */
+    bool contains(int64_t idx) const
+    {
+        return idx >= 0 && idx < nextIndex();
+    }
+
+    /**
+     * Would a translation needing up to @p headroom instructions
+     * overflow the cap? Also true when the fault-injection harness
+     * forces synthetic exhaustion (FaultSite::CacheExhaust).
+     */
+    bool exhausted(size_t headroom);
+
+    /** True once the cap itself has been crossed (hard overflow). */
+    bool
+    overCapacity() const
+    {
+        return capacity_ != 0 && code_.size() > capacity_;
+    }
+
+    /** Drop all translated code and start a new generation. */
+    void flushAll();
+
+    /** Generation counter, bumped by every flushAll(). */
+    uint64_t generation() const { return generation_; }
+
+    /** Largest size ever reached (never reset by flushes). */
+    size_t highWater() const { return high_water_; }
+
   private:
     std::vector<Instr> code_;
+    size_t capacity_ = 0;
+    size_t high_water_ = 0;
+    uint64_t generation_ = 0;
 };
 
 } // namespace el::ipf

@@ -1,0 +1,71 @@
+#include "support/faultinject.hh"
+
+namespace el
+{
+
+namespace
+{
+
+FaultInjector *g_active_injector = nullptr;
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::BtosAlloc:
+        return "btos_alloc";
+      case FaultSite::ColdXlateAbort:
+        return "cold_xlate_abort";
+      case FaultSite::HotXlateAbort:
+        return "hot_xlate_abort";
+      case FaultSite::CacheExhaust:
+        return "cache_exhaust";
+      case FaultSite::GuestFaultStorm:
+        return "guest_fault_storm";
+      default:
+        return "?";
+    }
+}
+
+bool
+FaultInjector::shouldFire(FaultSite site)
+{
+    ++total_consults_;
+    uint16_t p = cfg_.prob[static_cast<std::size_t>(site)];
+    if (!p)
+        return false;
+    if (cfg_.max_fires && total_fires_ >= cfg_.max_fires)
+        return false;
+    if (rng_.range(1024) >= p)
+        return false;
+    ++fires_[static_cast<std::size_t>(site)];
+    ++total_fires_;
+    return true;
+}
+
+FaultInjector *
+activeFaultInjector()
+{
+    return g_active_injector;
+}
+
+FaultInjectorScope::FaultInjectorScope(const FaultConfig &cfg)
+{
+    if (!cfg.enabled())
+        return;
+    owned_.injector = FaultInjector(cfg);
+    owned_.active = true;
+    previous_ = g_active_injector;
+    g_active_injector = &owned_.injector;
+    installed_ = true;
+}
+
+FaultInjectorScope::~FaultInjectorScope()
+{
+    if (installed_)
+        g_active_injector = previous_;
+}
+
+} // namespace el

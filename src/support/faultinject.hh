@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic fault-injection harness.
+ *
+ * Production dynamic translators live or die on their recovery paths —
+ * allocation failures, translation aborts, code-cache exhaustion and
+ * guest fault storms all have to degrade gracefully rather than crash.
+ * This header defines named injection sites threaded through the stack
+ * (BTLib allocation, cold/hot translation, the IPF code cache, the
+ * reference interpreter) and a seeded injector that fires them with a
+ * configured probability, so every recovery path can be exercised
+ * reproducibly by the chaos tests (tests/chaos_recovery_test.cc).
+ *
+ * The injector is consulted through a process-global registration so
+ * distant layers (btlib, ia32) need no plumbing: when no injector is
+ * installed — the default, and always the case for reference
+ * interpreter runs — every site is dead and costs one pointer load.
+ */
+
+#ifndef EL_SUPPORT_FAULTINJECT_HH
+#define EL_SUPPORT_FAULTINJECT_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/random.hh"
+
+namespace el
+{
+
+/** Named failure points the injector can fire. */
+enum class FaultSite : uint8_t
+{
+    BtosAlloc = 0,   //!< BTLib page allocation returns 0.
+    ColdXlateAbort,  //!< Cold translation aborts mid-session.
+    HotXlateAbort,   //!< Hot optimization session aborts.
+    CacheExhaust,    //!< Code cache reports synthetic exhaustion.
+    GuestFaultStorm, //!< Spurious transient guest fault (page/div/FP).
+    NumSites,
+};
+
+constexpr std::size_t num_fault_sites =
+    static_cast<std::size_t>(FaultSite::NumSites);
+
+/** Printable site name ("btos_alloc", ...). */
+const char *faultSiteName(FaultSite site);
+
+/**
+ * Injection configuration: a seed plus a per-site firing probability in
+ * parts per 1024. All-zero probabilities (the default) disable the
+ * subsystem entirely.
+ */
+struct FaultConfig
+{
+    uint64_t seed = 0;
+    std::array<uint16_t, num_fault_sites> prob{}; //!< Per-site, /1024.
+    uint64_t max_fires = 0; //!< Total firing budget; 0 = unlimited.
+
+    bool
+    enabled() const
+    {
+        for (uint16_t p : prob)
+            if (p)
+                return true;
+        return false;
+    }
+
+    /** Set one site's probability (chainable in test setup). */
+    FaultConfig &
+    site(FaultSite s, uint16_t prob_1024)
+    {
+        prob[static_cast<std::size_t>(s)] = prob_1024;
+        return *this;
+    }
+};
+
+/** Seeded, deterministic fault injector with per-site fire accounting. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg)
+        : cfg_(cfg), rng_(cfg.seed ? cfg.seed : 1)
+    {}
+
+    /** Roll the dice for @p site; true means the caller must fail. */
+    bool shouldFire(FaultSite site);
+
+    /** Deterministic uniform pick in [0, n); used for storm kinds. */
+    uint64_t pick(uint64_t n) { return rng_.range(n); }
+
+    uint64_t
+    fires(FaultSite site) const
+    {
+        return fires_[static_cast<std::size_t>(site)];
+    }
+
+    uint64_t totalFires() const { return total_fires_; }
+    uint64_t totalConsults() const { return total_consults_; }
+    const FaultConfig &config() const { return cfg_; }
+
+  private:
+    FaultConfig cfg_;
+    Rng rng_;
+    std::array<uint64_t, num_fault_sites> fires_{};
+    uint64_t total_fires_ = 0;
+    uint64_t total_consults_ = 0;
+};
+
+/** The currently installed injector, or null (no injection). */
+FaultInjector *activeFaultInjector();
+
+/** Fast inline site check usable from any layer. */
+inline bool
+faultInjected(FaultSite site)
+{
+    FaultInjector *fi = activeFaultInjector();
+    return fi && fi->shouldFire(site);
+}
+
+/**
+ * RAII installation of an injector for one runtime's lifetime. The
+ * previously installed injector (usually none) is restored on
+ * destruction, so nested runtimes behave sanely in tests.
+ */
+class FaultInjectorScope
+{
+  public:
+    FaultInjectorScope() = default;
+    explicit FaultInjectorScope(const FaultConfig &cfg);
+    ~FaultInjectorScope();
+
+    FaultInjectorScope(const FaultInjectorScope &) = delete;
+    FaultInjectorScope &operator=(const FaultInjectorScope &) = delete;
+
+    /** The owned injector, or null when injection is disabled. */
+    FaultInjector *get() { return owned_.active ? &owned_.injector : nullptr; }
+    const FaultInjector *
+    get() const
+    {
+        return owned_.active ? &owned_.injector : nullptr;
+    }
+
+  private:
+    struct
+    {
+        bool active = false;
+        FaultInjector injector{FaultConfig{}};
+    } owned_;
+    FaultInjector *previous_ = nullptr;
+    bool installed_ = false;
+};
+
+} // namespace el
+
+#endif // EL_SUPPORT_FAULTINJECT_HH

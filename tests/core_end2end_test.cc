@@ -498,6 +498,144 @@ TEST(End2End, SelfModifyingCode)
     diffRun(img);
 }
 
+TEST(End2End, SmcRoundTripRetranslates)
+{
+    // The SMC guard must fire, invalidate the patched block, and the
+    // retranslated block must execute the *new* bytes: the final pass
+    // loads the patched immediate.
+    // Each pass stores the (changing) loop counter into the mov's
+    // immediate, so a re-entered translation sees modified bytes.
+    Assembler as(Layout::code_base);
+    Label loop = as.label();
+    as.movRI(RegEdx, 3);
+    as.bind(loop);
+    as.movRI(RegEax, 1111); // imm rewritten with edx every pass
+    as.movRI(RegEbx, Layout::code_base + 6); // imm field of the mov
+    as.movMR(memb(RegEbx, 0), RegEdx);
+    as.decR(RegEdx);
+    as.jcc(Cond::NE, loop);
+    as.aluRI(Op::And, RegEax, 0xffff);
+    emitExitEax(as);
+
+    Image img;
+    img.name = "smc_roundtrip";
+    img.entry = Layout::code_base;
+    img.addCode(Layout::code_base, as.finish(), /*writable=*/true);
+    img.addData(Layout::data_base, 0x1000);
+
+    harness::TranslatedRun tr = harness::runTranslated(img, OsAbi::Linux);
+    ASSERT_TRUE(tr.outcome.exited);
+    EXPECT_EQ(tr.outcome.exit_code, 2);
+    // The round trip actually happened: SMC exit taken, a translation
+    // invalidated, and the entry block translated more than once.
+    EXPECT_GE(tr.runtime->stats().get("exits.smc"), 1u);
+    EXPECT_GE(tr.runtime->translator().stats.get("smc.invalidations"), 1u);
+    EXPECT_GE(tr.runtime->translator().stats.get("xlate.cold_blocks"), 2u);
+    diffRun(img); // and the interpreter agrees on everything
+}
+
+TEST(End2End, SmcInvalidationIsSurgical)
+{
+    // Two independent blocks on the same writable page: invalidating
+    // the guarded window of one must not take down its neighbour (the
+    // SMC payload carries the window width, not a whole page).
+    Assembler as(Layout::code_base);
+    Label fn_a = as.label(), fn_b = as.label(), start = as.label();
+    as.jmp(start);
+    while (as.pc() < Layout::code_base + 32)
+        as.nop();
+    as.bind(fn_a);
+    as.aluRI(Op::Add, RegEax, 3);
+    as.ret();
+    while (as.pc() < Layout::code_base + 64)
+        as.nop();
+    as.bind(fn_b);
+    as.aluRI(Op::Add, RegEax, 7);
+    as.ret();
+    as.bind(start);
+    as.movRI(RegEax, 0);
+    as.movRI(RegEcx, 4);
+    Label loop = as.label();
+    as.bind(loop);
+    as.call(fn_a);
+    as.call(fn_b);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, loop);
+    emitExitEax(as);
+
+    Image img;
+    img.name = "smc_surgical";
+    img.entry = Layout::code_base;
+    img.addCode(Layout::code_base, as.finish(), /*writable=*/true);
+    img.addData(Layout::data_base, 0x1000);
+
+    harness::TranslatedRun tr = harness::runTranslated(img, OsAbi::Linux);
+    ASSERT_TRUE(tr.outcome.exited);
+    EXPECT_EQ(tr.outcome.exit_code, 40);
+
+    core::Translator &xlate = tr.runtime->translator();
+    const uint32_t a_entry = Layout::code_base + 32;
+    const uint32_t b_entry = Layout::code_base + 64;
+    bool saw_a = false, saw_b = false;
+    xlate.invalidateRange(a_entry, 8); // the guarded window of fn_a
+    for (int32_t id = 0; core::BlockInfo *b = xlate.blockById(id); ++id) {
+        if (b->entry_eip == a_entry && b->kind == core::BlockKind::Cold) {
+            saw_a = true;
+            EXPECT_TRUE(b->invalidated) << "patched block must die";
+        }
+        if (b->entry_eip == b_entry && b->kind == core::BlockKind::Cold) {
+            saw_b = true;
+            EXPECT_FALSE(b->invalidated)
+                << "same-page neighbour must survive";
+        }
+    }
+    EXPECT_TRUE(saw_a);
+    EXPECT_TRUE(saw_b);
+}
+
+TEST(End2End, HotFaultReconstructsPreciseState)
+{
+    // A fault that lands while hot-trace code is executing must be
+    // reconstructed to the exact interpreter state via the recovery
+    // maps — registers, EIP and fault coordinates all bit-equal.
+    core::Options hot;
+    hot.heat_threshold = 8;
+    hot.hot_batch = 1;
+
+    Assembler as(Layout::code_base);
+    as.movRI(RegEax, 0);
+    as.movRI(RegEsi, 0x5a5a0001); // distinctive live values the
+    as.movRI(RegEdi, 0x0f0f0002); // reconstruction must preserve
+    as.movRI(RegEbx, Layout::data_base);
+    as.movRI(RegEcx, 2000);
+    Label top = as.label();
+    as.bind(top);
+    as.aluRR(Op::Add, RegEax, RegEcx);
+    as.aluRI(Op::Xor, RegEsi, 0x1111);
+    as.movMR(memb(RegEbx, 0), RegEax);
+    // ebx eventually walks off the mapped data area -> #PF in hot code.
+    as.aluRI(Op::Add, RegEbx, 64);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, top);
+    emitExitEax(as);
+    Image img = makeImage(as, 0x8000);
+
+    harness::Outcome ref = harness::runInterpreter(img, OsAbi::Linux);
+    harness::TranslatedRun tr =
+        harness::runTranslated(img, OsAbi::Linux, hot);
+    ASSERT_TRUE(ref.faulted);
+    ASSERT_TRUE(tr.outcome.faulted);
+    // The fault really was serviced out of hot code, not a cold block.
+    EXPECT_GT(tr.runtime->translator().stats.get("xlate.hot_blocks"), 0u);
+    EXPECT_GE(tr.runtime->stats().get("faults.memory"), 1u);
+    EXPECT_EQ(ref.fault.kind, tr.outcome.fault.kind);
+    EXPECT_EQ(ref.fault.eip, tr.outcome.fault.eip);
+    EXPECT_EQ(ref.fault.addr, tr.outcome.fault.addr);
+    std::string why;
+    EXPECT_TRUE(ref.final_state.equalsArch(tr.outcome.final_state, &why))
+        << "hot-fault state mismatch: " << why;
+}
+
 TEST(End2End, EflagsEliminationAblationAgrees)
 {
     core::Options no_elim;
