@@ -169,6 +169,12 @@ struct BlockInfo
     HotState hot_state = HotState::Eligible;
     int32_t hot_version = -1;  //!< Hot block id when hot_state == Covered.
     uint32_t hot_fail_count = 0; //!< Aborted hot sessions for this block.
+    bool hot_queued = false;   //!< In the hot-candidate queue; makes
+                               //!< re-registration O(1).
+    bool hot_inflight = false; //!< A pipeline session for this block is
+                               //!< running on a worker; its exits stay
+                               //!< unlinked so every traversal yields
+                               //!< an adoption boundary.
 };
 
 } // namespace el::core

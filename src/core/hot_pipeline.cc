@@ -1,0 +1,118 @@
+#include "core/hot_pipeline.hh"
+
+#include <algorithm>
+
+namespace el::core
+{
+
+HotPipeline::HotPipeline(const Config &config, SessionFn session)
+    : session_(std::move(session)), deterministic_(config.deterministic),
+      worker_avail_(std::max(1u, config.threads), 0.0)
+{
+    pool_.start(std::max(1u, config.threads),
+                [this](unsigned) { workerLoop(); });
+}
+
+HotPipeline::~HotPipeline()
+{
+    queue_.close();
+    pool_.join();
+}
+
+void
+HotPipeline::workerLoop()
+{
+    HotCandidate cand;
+    while (queue_.pop(&cand)) {
+        HotArtifact art;
+        art.seq = cand.seq;
+        art.cold_block_id = cand.cold_block_id;
+        art.generation = cand.generation;
+        art.ready_cycles = cand.ready_cycles;
+        session_(cand, &art);
+        {
+            std::lock_guard<std::mutex> lk(results_mu_);
+            results_.push_back(std::move(art));
+        }
+        results_cv_.notify_all();
+    }
+}
+
+uint64_t
+HotPipeline::enqueue(HotCandidate candidate, double now,
+                     double session_cost)
+{
+    candidate.seq = next_seq_++;
+    // Plan the session onto the least-loaded simulated worker: it
+    // starts when both the candidate and a worker are available. The
+    // plan depends only on enqueue order and simulated time, never on
+    // real thread scheduling, so deterministic adoption is replayable.
+    auto it = std::min_element(worker_avail_.begin(), worker_avail_.end());
+    double start = std::max(now, *it);
+    candidate.ready_cycles = start + session_cost;
+    *it = candidate.ready_cycles;
+    pending_ready_[candidate.seq] = candidate.ready_cycles;
+    uint64_t seq = candidate.seq;
+    queue_.push(std::move(candidate));
+    return seq;
+}
+
+std::vector<HotArtifact>
+HotPipeline::drain(double now)
+{
+    std::vector<HotArtifact> out;
+    if (pending_ready_.empty())
+        return out;
+    std::unique_lock<std::mutex> lk(results_mu_);
+
+    auto take_seq = [&](uint64_t seq) -> bool {
+        for (size_t i = 0; i < results_.size(); ++i) {
+            if (results_[i].seq == seq) {
+                out.push_back(std::move(results_[i]));
+                results_.erase(results_.begin() +
+                               static_cast<ptrdiff_t>(i));
+                return true;
+            }
+        }
+        return false;
+    };
+
+    if (deterministic_) {
+        // Adopt strictly in enqueue order, and only once guest
+        // simulated time has reached the candidate's planned
+        // completion. If the plan says it is done but the real worker
+        // has not landed it yet, wait (wall-clock only — invisible to
+        // the simulation).
+        for (;;) {
+            auto it = pending_ready_.find(next_adopt_seq_);
+            if (it == pending_ready_.end() || it->second > now)
+                break;
+            uint64_t seq = next_adopt_seq_;
+            results_cv_.wait(lk, [&] {
+                for (const HotArtifact &a : results_)
+                    if (a.seq == seq)
+                        return true;
+                return false;
+            });
+            take_seq(seq);
+            pending_ready_.erase(it);
+            ++next_adopt_seq_;
+        }
+    } else {
+        // Adopt whatever has landed; order by sequence for stable
+        // processing. The *set* adopted here depends on real worker
+        // speed — the documented benign race.
+        std::sort(results_.begin(), results_.end(),
+                  [](const HotArtifact &a, const HotArtifact &b) {
+                      return a.seq < b.seq;
+                  });
+        for (HotArtifact &a : results_) {
+            pending_ready_.erase(a.seq);
+            out.push_back(std::move(a));
+        }
+        results_.clear();
+    }
+    return out;
+}
+
+} // namespace el::core

@@ -60,6 +60,20 @@ struct Options
     double runtime_entry_cost = 60.0;        //!< Per exit into BTGeneric.
     double guard_recovery_cost = 300.0;      //!< FP/SSE guard repair.
 
+    // ----- asynchronous hot-translation pipeline --------------------
+    uint32_t translation_threads = 0; //!< Hot-session worker threads;
+                                      //!< 0 = synchronous (inline
+                                      //!< sessions, today's behavior).
+    bool deterministic_adoption = false; //!< Adopt hot results only at
+                                      //!< block re-entry boundaries, in
+                                      //!< enqueue order, on a simulated
+                                      //!< worker timeline (replayable).
+    double hot_enqueue_cost = 200.0;  //!< Guest stall per candidate
+                                      //!< snapshot + enqueue.
+    double hot_publish_cost_per_insn = 10.0; //!< Guest stall per IA-32
+                                      //!< insn when adopting a finished
+                                      //!< hot translation.
+
     // ----- limits ---------------------------------------------------
     uint64_t max_run_cycles = 400ULL * 1000 * 1000;
     uint32_t lookup_entries = 1024;  //!< Indirect-branch table entries.

@@ -41,6 +41,22 @@ Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
     }
     translator_ =
         std::make_unique<Translator>(options_, mem_, cache_, rt_base_);
+
+    if (options_.translation_threads > 0 && options_.enable_hot_phase) {
+        HotPipeline::Config cfg;
+        cfg.threads = options_.translation_threads;
+        cfg.deterministic = options_.deterministic_adoption;
+        FaultInjector *fi = inject_scope_.get();
+        hot_pipeline_ = std::make_unique<HotPipeline>(
+            cfg, [this, fi](const HotCandidate &c, HotArtifact *out) {
+                // Runs on a worker thread. The injection stream is
+                // keyed by the candidate's sequence number, never the
+                // worker, so chaos runs replay across thread counts.
+                FaultStream stream(fi, c.seq);
+                Translator::runHotSession(c.input, options_, &stream,
+                                          out);
+            });
+    }
 }
 
 SpecContext
@@ -164,6 +180,16 @@ Runtime::storeContext(ia32::State *state, uint32_t eip)
     }
 }
 
+void
+Runtime::chargeTranslatorOverhead()
+{
+    machine_->chargeCycles(Bucket::Overhead,
+                           translator_->takePendingOverheadCycles());
+    double stall = translator_->takePendingHotStallCycles();
+    if (stall > 0)
+        stats_.add("hot.stall_cycles", static_cast<uint64_t>(stall));
+}
+
 int64_t
 Runtime::dispatchEntry(uint32_t eip, bool force_cold, bool fresh_cold)
 {
@@ -171,8 +197,7 @@ Runtime::dispatchEntry(uint32_t eip, bool force_cold, bool fresh_cold)
     BlockInfo *block = force_cold
         ? translator_->dispatchCold(eip, spec, fresh_cold)
         : translator_->dispatch(eip, spec);
-    machine_->chargeCycles(Bucket::Overhead,
-                           translator_->takePendingOverheadCycles());
+    chargeTranslatorOverhead();
     if (!block)
         return -1;
     return block->cache_entry;
@@ -388,13 +413,17 @@ Runtime::registerHot(int32_t block_id)
         translator_->disableHeat(block);
         return;
     }
+    if (block->hot_inflight)
+        return; // A pipeline session is already running; adoption (or
+                // its bounded-retry failure path) resolves this block.
     block->heat_registrations++;
     stats_.add("hot.registrations");
-    bool queued = false;
-    for (int32_t id : hot_queue_)
-        queued = queued || id == block_id;
-    if (!queued)
+    // O(1) dedup: the queued flag replaces the old linear scan over
+    // hot_queue_.
+    if (!block->hot_queued) {
+        block->hot_queued = true;
         hot_queue_.push_back(block_id);
+    }
 
     bool session =
         hot_queue_.size() >= options_.hot_batch ||
@@ -408,12 +437,17 @@ Runtime::registerHot(int32_t block_id)
     batch.swap(hot_queue_);
     for (int32_t id : batch) {
         BlockInfo *cand = translator_->blockById(id);
-        if (!cand || cand->invalidated ||
+        if (!cand)
+            continue;
+        cand->hot_queued = false;
+        if (cand->invalidated ||
             cand->hot_state != HotState::Eligible)
             continue;
         SpecContext spec = currentSpec();
-        if (!translator_->translateHot(cand->entry_eip, spec) &&
-            !cand->invalidated) {
+        if (hot_pipeline_) {
+            enqueueHot(cand, spec);
+        } else if (!translator_->translateHot(cand->entry_eip, spec) &&
+                   !cand->invalidated) {
             // Bounded retry: a transient abort leaves the block
             // eligible so the next threshold hit tries again; repeat
             // offenders are pinned cold (graceful degradation, not an
@@ -421,8 +455,81 @@ Runtime::registerHot(int32_t block_id)
             noteHotFailure(cand);
         }
     }
-    machine_->chargeCycles(Bucket::Overhead,
-                           translator_->takePendingOverheadCycles());
+    chargeTranslatorOverhead();
+}
+
+void
+Runtime::enqueueHot(BlockInfo *cand, const SpecContext &spec)
+{
+    if (cand->hot_queued || cand->hot_inflight)
+        return; // already queued, or a session is already in flight
+
+    HotCandidate c;
+    c.cold_block_id = cand->id;
+    c.generation = cache_.generation();
+    if (!translator_->prepareHotInput(cand->entry_eip, spec,
+                                      &c.input)) {
+        // No viable trace — same bounded-retry treatment as a failed
+        // synchronous session.
+        noteHotFailure(cand);
+        return;
+    }
+
+    double session_cost = translator_->hotSessionCost(c.input);
+    // The guest only stalls for the snapshot + enqueue; the session
+    // itself runs on a worker. This is the stall the pipeline removes.
+    translator_->chargeHotStall(options_.hot_enqueue_cost);
+
+    // Silence the use counter while the session is in flight: it exits
+    // at the block head on every execution past the threshold, so an
+    // armed counter would stop the guest before the body runs. But the
+    // runtime still needs periodic stops — finished sessions are only
+    // adopted at dispatch boundaries, and a fully-chained loop would
+    // otherwise starve adoption until it terminates. So unlink the
+    // block's patched exits instead: every traversal then exits
+    // LinkMiss at the block END (forward progress preserved), and the
+    // LinkMiss handler refuses to re-patch while hot_inflight is set.
+    // Links re-form lazily after adoption. Re-armed on failure.
+    cand->hot_inflight = true;
+    translator_->disableHeat(cand);
+    translator_->unlinkBlockExits(cand);
+
+    hot_pipeline_->enqueue(std::move(c), machine_->totalCycles(),
+                           session_cost);
+    stats_.add("hot.enqueued");
+}
+
+void
+Runtime::adoptHotResults()
+{
+    if (!hot_pipeline_ || hot_pipeline_->inFlight() == 0)
+        return;
+    std::vector<HotArtifact> arts =
+        hot_pipeline_->drain(machine_->totalCycles());
+    for (HotArtifact &art : arts) {
+        BlockInfo *cold = translator_->blockById(art.cold_block_id);
+        if (cold)
+            cold->hot_inflight = false;
+        BlockInfo *hot = translator_->commitHotArtifact(art);
+        if (hot) {
+            stats_.add("hot.adopted");
+            // Publication (relocation + linking) is the only part the
+            // guest waits for.
+            translator_->chargeHotStall(
+                options_.hot_publish_cost_per_insn *
+                (hot->insn_count + 1));
+        } else if (cold && !cold->invalidated &&
+                   cold->hot_state == HotState::Eligible) {
+            // Failed or discarded session (a stale-generation discard
+            // leaves the cold block invalidated and skips this):
+            // bounded retry, and re-arm the counter silenced at
+            // enqueue so the block can register again.
+            noteHotFailure(cold);
+            if (cold->hot_state == HotState::Eligible)
+                translator_->enableHeat(cold);
+        }
+    }
+    chargeTranslatorOverhead();
 }
 
 bool
@@ -508,6 +615,10 @@ Runtime::run(ia32::State &state)
             return result;
         }
 
+        // Block re-entry boundary: the only place finished pipeline
+        // sessions become visible to the guest.
+        adoptHotResults();
+
         int64_t entry = dispatchEntry(next_eip, force_cold_once,
                                       fresh_cold_once);
         force_cold_once = false;
@@ -592,20 +703,25 @@ Runtime::run(ia32::State &state)
                     translator_->dispatchCold(target, spec, false);
                 if (cold && cold->kind == BlockKind::Cold &&
                     cold->hot_state == HotState::Eligible) {
-                    if (translator_->translateHot(target, spec)) {
+                    if (hot_pipeline_) {
+                        enqueueHot(cold, spec);
+                    } else if (translator_->translateHot(target,
+                                                         spec)) {
                         stats_.add("hot.chained");
                     } else if (!cold->invalidated) {
                         noteHotFailure(cold);
                     }
-                    machine_->chargeCycles(
-                        Bucket::Overhead,
-                        translator_->takePendingOverheadCycles());
+                    chargeTranslatorOverhead();
                 }
             }
             int64_t tentry = dispatchEntry(target, false);
+            // While a hot session for the exiting block is in flight
+            // its exits stay unlinked — every traversal must keep
+            // stopping here so the finished artifact can be adopted.
             if (tentry >= 0 && options_.enable_chaining &&
-                cache_.generation() == gen) {
-                cache_.patchToBranch(stop.instr_index, tentry);
+                !(block && block->hot_inflight) &&
+                cache_.patchToBranchChecked(stop.instr_index, tentry,
+                                            gen)) {
                 stats_.add("links.patched");
             }
             next_eip = target;
@@ -674,9 +790,7 @@ Runtime::run(ia32::State &state)
                 translator_->discardHotBlock(block);
                 next_eip = static_cast<uint32_t>(stop.payload);
             }
-            machine_->chargeCycles(
-                Bucket::Overhead,
-                translator_->takePendingOverheadCycles());
+            chargeTranslatorOverhead();
             break;
           }
 

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "btlib/btos.hh"
+#include "core/hot_pipeline.hh"
 #include "core/options.hh"
 #include "core/translator.hh"
 #include "ia32/state.hh"
@@ -94,8 +95,26 @@ class Runtime
 
     uint64_t grAt(const Loc &loc, unsigned guest_reg) const;
 
-    /** Handle the RegisterHot protocol; may run a hot session. */
+    /** Handle the RegisterHot protocol; may run or enqueue a session. */
     void registerHot(int32_t block_id);
+
+    /**
+     * Snapshot a hot candidate and hand it to the pipeline workers.
+     * The block's use counter is silenced while the session is in
+     * flight and re-armed if the session fails or is discarded.
+     */
+    void enqueueHot(BlockInfo *cand, const SpecContext &spec);
+
+    /**
+     * Adoption point (top of the dispatch loop, i.e. a block re-entry
+     * boundary): publish finished pipeline sessions into the shared
+     * code cache. No-op when the pipeline is off or idle.
+     */
+    void adoptHotResults();
+
+    /** Charge accumulated translator cycles to Overhead and fold the
+     *  hot-stall share into the "hot.stall_cycles" statistic. */
+    void chargeTranslatorOverhead();
 
     /**
      * Bounded-retry accounting for a failed hot session: after
@@ -126,6 +145,11 @@ class Runtime
     uint64_t rt_base_ = 0;
     StatGroup stats_;
     std::deque<int32_t> hot_queue_;
+
+    // Declared last on purpose: destruction joins the worker threads
+    // before anything they reference (translator_, options_, the fault
+    // injector owned by inject_scope_) is torn down.
+    std::unique_ptr<HotPipeline> hot_pipeline_;
 };
 
 } // namespace el::core

@@ -151,9 +151,46 @@ Translator::disableHeat(BlockInfo *block)
         ipf::Instr &in = cache_.at(i);
         if (in.op == IpfOp::Exit &&
             in.exit_reason == ExitReason::RegisterHot) {
+            // Keep the RegisterHot reason on the Nop: the machine only
+            // honors exit_reason on Exit ops, and enableHeat() uses it
+            // to find the silenced counter when a pipelined session
+            // fails and the block must become registrable again.
             in.op = IpfOp::Nop;
-            in.exit_reason = ExitReason::None;
         }
+    }
+}
+
+void
+Translator::enableHeat(BlockInfo *block)
+{
+    if (!block || block->invalidated || block->cache_entry < 0)
+        return;
+    for (int64_t i = block->cache_entry; i < block->cache_end; ++i) {
+        ipf::Instr &in = cache_.at(i);
+        if (in.op == IpfOp::Nop &&
+            in.exit_reason == ExitReason::RegisterHot)
+            in.op = IpfOp::Exit;
+    }
+}
+
+void
+Translator::unlinkBlockExits(BlockInfo *block)
+{
+    if (!block || block->invalidated || block->cache_entry < 0)
+        return;
+    for (ExitStub &s : block->stubs) {
+        if (s.cache_index < 0 || s.cache_index >= cache_.nextIndex())
+            continue;
+        ipf::Instr &in = cache_.at(s.cache_index);
+        if (in.op != IpfOp::Br)
+            continue;
+        // Invert patchToBranch(): the stub record keeps the guest
+        // target, so the LinkMiss exit is fully reconstructible.
+        in.op = IpfOp::Exit;
+        in.exit_reason = ExitReason::LinkMiss;
+        in.exit_payload = s.target_eip;
+        in.target = -1;
+        s.patched = false;
     }
 }
 
@@ -340,7 +377,9 @@ Translator::emitBlockEnd(EmitEnv &env, const BasicBlock &bb,
 }
 
 bool
-Translator::finishBlock(EmitEnv &env, BlockInfo *info, bool reorder)
+Translator::finishInto(EmitEnv &env, BlockInfo *info,
+                       ipf::CodeCache &cache, const Options &options,
+                       bool reorder, SchedTally *tally)
 {
     // Concatenate head (guards + instrumentation) and body, fixing up
     // body-relative IL references.
@@ -356,13 +395,11 @@ Translator::finishBlock(EmitEnv &env, BlockInfo *info, bool reorder)
     }
 
     ScheduleResult res =
-        schedule(std::move(all), cache_, options, reorder,
+        schedule(std::move(all), cache, options, reorder,
                  options.enable_load_speculation && reorder,
                  &env.recovery);
-    if (!res.ok) {
-        stats.add("sched.failures");
+    if (!res.ok)
         return false;
-    }
     info->cache_entry = res.entry;
     info->cache_end = res.end;
     info->recovery = std::move(env.recovery);
@@ -372,11 +409,26 @@ Translator::finishBlock(EmitEnv &env, BlockInfo *info, bool reorder)
         el_assert(ci >= 0, "stub IL lost in scheduling");
         info->stubs.push_back({ci, stub.target_eip, false});
     }
-    stats.add("sched.groups", res.groups);
-    stats.add("sched.dead_removed", res.dead_removed);
-    stats.add("sched.loads_speculated", res.loads_speculated);
+    tally->groups = res.groups;
+    tally->dead_removed = res.dead_removed;
+    tally->loads_speculated = res.loads_speculated;
+    tally->ipf_insns = res.end - res.entry;
+    return true;
+}
+
+bool
+Translator::finishBlock(EmitEnv &env, BlockInfo *info, bool reorder)
+{
+    SchedTally tally;
+    if (!finishInto(env, info, cache_, options, reorder, &tally)) {
+        stats.add("sched.failures");
+        return false;
+    }
+    stats.add("sched.groups", tally.groups);
+    stats.add("sched.dead_removed", tally.dead_removed);
+    stats.add("sched.loads_speculated", tally.loads_speculated);
     stats.add(reorder ? "xlate.hot_ipf_insns" : "xlate.cold_ipf_insns",
-              res.end - res.entry);
+              tally.ipf_insns);
     return true;
 }
 
@@ -608,23 +660,17 @@ Translator::selectTrace(const Region &region, uint32_t eip, bool *loops)
     return trace;
 }
 
-BlockInfo *
-Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
+bool
+Translator::prepareHotInput(uint32_t entry_eip, const SpecContext &spec,
+                            HotSessionInput *out)
 {
-    if (faultInjected(FaultSite::HotXlateAbort)) {
-        // Injected optimization-session abort; the caller's bounded
-        // retry policy decides whether the block stays eligible.
-        stats.add("hot.aborts_injected");
-        return nullptr;
-    }
-    maybeFlushForRoom();
     Region region = discoverRegion(mem_, entry_eip, 32);
     computeFlagsLiveness(region);
     bool loops = false;
     std::vector<const BasicBlock *> trace =
         selectTrace(region, entry_eip, &loops);
     if (trace.empty() || trace[0]->insns.empty())
-        return nullptr;
+        return false;
 
     unsigned trace_insns = 0;
     for (const BasicBlock *b : trace)
@@ -639,54 +685,94 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
         stats.add("hot.loops_unrolled");
     }
 
-    auto info_holder = std::make_unique<BlockInfo>();
-    BlockInfo *info = info_holder.get();
-    info->id = static_cast<int32_t>(blocks_.size());
-    info->kind = BlockKind::Hot;
-    info->entry_eip = entry_eip;
-    info->insn_count = trace_insns * copies;
-
-    EmitEnv env(options, Phase::Hot, info->id, spec);
+    out->entry_eip = entry_eip;
+    out->spec = spec;
+    out->loops = loops;
+    out->copies = copies;
+    out->trace_insns = trace_insns;
+    out->trace.clear();
+    out->policies.clear();
+    out->covered_eips.clear();
 
     bool any_misalign_history = false;
     for (const auto &[beip, h] : misalign_)
         any_misalign_history = any_misalign_history || h.observed;
 
+    // Freeze the per-source-block misalignment policy (stage 3): the
+    // session must not read misalign_, which the main thread keeps
+    // mutating while workers run.
+    for (size_t ti = 0; ti < trace.size(); ++ti) {
+        const BasicBlock *bb = trace[ti];
+        out->trace.push_back(*bb);
+        if (!options.enable_misalign_avoidance) {
+            out->policies.emplace_back(MisalignPolicy::Plain, 1);
+        } else {
+            auto hit = misalign_.find(bb->start);
+            if (hit != misalign_.end() && hit->second.observed)
+                out->policies.emplace_back(MisalignPolicy::Avoid,
+                                           hit->second.granularity);
+            else if (any_misalign_history)
+                out->policies.emplace_back(MisalignPolicy::DetectLight,
+                                           1);
+            else
+                out->policies.emplace_back(MisalignPolicy::Plain, 1);
+        }
+        if (ti >= 1)
+            out->covered_eips.push_back(bb->start);
+    }
+    return true;
+}
+
+void
+Translator::runHotSession(const HotSessionInput &in,
+                          const Options &options, FaultStream *faults,
+                          HotArtifact *out)
+{
+    out->ok = false;
+    out->spec = in.spec;
+    out->covered_eips = in.covered_eips;
+    if (faults && faults->shouldFire(FaultSite::HotXlateAbort)) {
+        // Injected optimization-session abort; the adopting side's
+        // bounded retry policy decides whether the block stays eligible.
+        out->injected_abort = true;
+        return;
+    }
+
+    const std::vector<BasicBlock> &trace = in.trace;
+    BlockInfo *info = &out->proto;
+    info->kind = BlockKind::Hot;
+    info->entry_eip = in.entry_eip;
+    info->insn_count = in.trace_insns * in.copies;
+
+    // The block id is unknown until commit; publish() re-stamps
+    // meta.block_id on every staged instruction (hot code never bakes
+    // the id into payloads — only cold use counters do).
+    EmitEnv env(options, Phase::Hot, /*block_id=*/-1, in.spec);
+
     bool aborted = false;
     bool tail_done = false;
-    for (unsigned copy = 0; copy < copies && !aborted; ++copy) {
+    for (unsigned copy = 0; copy < in.copies && !aborted; ++copy) {
         for (size_t ti = 0; ti < trace.size() && !aborted; ++ti) {
-            const BasicBlock *bb = trace[ti];
+            const BasicBlock &bb = trace[ti];
 
-            // Per-source-block misalignment policy (stage 3).
-            if (!options.enable_misalign_avoidance) {
-                env.setAccessPolicy(MisalignPolicy::Plain);
-            } else {
-                auto hit = misalign_.find(bb->start);
-                if (hit != misalign_.end() && hit->second.observed) {
-                    env.setAccessPolicy(MisalignPolicy::Avoid,
-                                        hit->second.granularity);
-                } else if (any_misalign_history) {
-                    env.setAccessPolicy(MisalignPolicy::DetectLight);
-                } else {
-                    env.setAccessPolicy(MisalignPolicy::Plain);
-                }
-            }
+            env.setAccessPolicy(in.policies[ti].first,
+                                in.policies[ti].second);
 
             std::vector<uint32_t> live =
-                perInsnLiveFlags(*bb, bb->flags_live_out);
+                perInsnLiveFlags(bb, bb.flags_live_out);
             bool is_last_block =
-                (ti + 1 == trace.size()) && (copy + 1 == copies);
+                (ti + 1 == trace.size()) && (copy + 1 == in.copies);
 
-            for (size_t k = 0; k < bb->insns.size(); ++k) {
-                const Insn &insn = bb->insns[k];
+            for (size_t k = 0; k < bb.insns.size(); ++k) {
+                const Insn &insn = bb.insns[k];
                 if (ia32::endsBlock(insn)) {
                     // Trace-internal control flow.
                     uint32_t on_trace = 0;
-                    if (!is_last_block || (loops && copy + 1 == copies)) {
+                    if (!is_last_block ||
+                        (in.loops && copy + 1 == in.copies)) {
                         on_trace = (ti + 1 < trace.size())
-                                       ? trace[ti + 1]->start
-                                       : trace[0]->start;
+                                       ? trace[ti + 1].start
+                                       : trace[0].start;
                     }
                     if (insn.op == Op::Jcc && on_trace) {
                         env.beginInsn(insn, live[k]);
@@ -717,7 +803,7 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
                         continue;
                     }
                     // Trace terminator.
-                    emitBlockEnd(env, *bb, info, true, -1);
+                    emitBlockEnd(env, bb, info, true, -1);
                     tail_done = true;
                     break;
                 }
@@ -738,28 +824,26 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
         if (tail_done)
             break;
     }
-    if (aborted) {
-        stats.add("hot.aborted");
-        return nullptr;
-    }
+    if (aborted)
+        return;
 
     if (!tail_done) {
         // Trace falls through its end: loop back or link out.
         env.syncAllToHomes();
         env.emitStatusTail();
-        bool can_loop = loops && env.tosDelta() == 0 &&
+        bool can_loop = in.loops && env.tosDelta() == 0 &&
                         env.tagSet() == 0 && env.tagClear() == 0 &&
                         env.xmmEntryFormats() == env.xmmExitFormats();
         if (can_loop) {
             Il br = env.mk(IpfOp::Br);
             br.target_il = 0; // body start (post-guard)
             env.emit(br);
-            stats.add("hot.loopback_edges");
+            out->stat_loopback_edges = 1;
         } else {
-            uint32_t next = trace.back()->insns.empty()
-                ? trace.back()->start
-                : (loops ? trace[0]->start
-                         : trace.back()->insns.back().next());
+            uint32_t next = trace.back().insns.empty()
+                ? trace.back().start
+                : (in.loops ? trace[0].start
+                            : trace.back().insns.back().next());
             env.endBranch(next);
         }
     }
@@ -770,10 +854,62 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
     env.emitMmxGuard(&info->guard);
     env.emitXmmGuard(&info->guard);
 
-    if (!finishBlock(env, info, true)) {
-        stats.add("hot.aborted");
+    SchedTally tally;
+    if (!finishInto(env, info, out->staging, options, true, &tally)) {
+        out->stat_sched_failures = 1;
+        return;
+    }
+
+    out->stat_groups = tally.groups;
+    out->stat_dead_removed = tally.dead_removed;
+    out->stat_loads_speculated = tally.loads_speculated;
+    out->stat_fxch_eliminated = env.fxch_eliminated;
+    out->stat_trace_blocks =
+        static_cast<uint32_t>(trace.size()) * in.copies;
+    out->ok = true;
+}
+
+BlockInfo *
+Translator::commitHotArtifact(HotArtifact &art)
+{
+    if (!art.ok) {
+        if (art.injected_abort)
+            stats.add("hot.aborts_injected");
+        else
+            stats.add("hot.aborted");
+        if (art.stat_sched_failures)
+            stats.add("sched.failures", art.stat_sched_failures);
+        if (art.stat_loopback_edges)
+            stats.add("hot.loopback_edges", art.stat_loopback_edges);
         return nullptr;
     }
+
+    BlockInfo *src = blockById(art.cold_block_id);
+    if (src && src->invalidated) {
+        // The guest invalidated the source block (SMC) while the
+        // session was in flight. That path does not bump the cache
+        // generation, so check it explicitly: the artifact was built
+        // from bytes that no longer exist.
+        stats.add("hot.discard_stale");
+        return nullptr;
+    }
+
+    int32_t new_id = static_cast<int32_t>(blocks_.size());
+    int64_t base = cache_.publish(art.staging, art.generation, new_id);
+    if (base < 0) {
+        // Staged against a flushed generation: the trace was selected
+        // from profile counters and cold blocks that no longer exist.
+        stats.add("hot.discard_stale");
+        return nullptr;
+    }
+
+    auto info_holder = std::make_unique<BlockInfo>(std::move(art.proto));
+    BlockInfo *info = info_holder.get();
+    info->id = new_id;
+    info->cache_entry += base;
+    info->cache_end += base;
+    for (ExitStub &s : info->stubs)
+        s.cache_index += base;
 
     if (cache_.overCapacity()) {
         // The trace crossed the cap: flush it together with everything
@@ -785,17 +921,21 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
 
     stats.add("xlate.hot_blocks");
     stats.add("xlate.hot_insns", info->insn_count);
-    stats.add("xlate.hot_trace_blocks", trace.size() * copies);
-    stats.add("fxch.eliminated", env.fxch_eliminated);
+    stats.add("xlate.hot_trace_blocks", art.stat_trace_blocks);
+    stats.add("fxch.eliminated", art.stat_fxch_eliminated);
     stats.add("hot.commit_points", info->recovery.size());
-    pending_cycles_ +=
-        options.hot_xlate_cost_per_insn * (info->insn_count + 1);
+    if (art.stat_loopback_edges)
+        stats.add("hot.loopback_edges", art.stat_loopback_edges);
+    stats.add("sched.groups", art.stat_groups);
+    stats.add("sched.dead_removed", art.stat_dead_removed);
+    stats.add("sched.loads_speculated", art.stat_loads_speculated);
+    stats.add("xlate.hot_ipf_insns", info->cache_end - info->cache_entry);
 
-    hot_map_[entry_eip].push_back({spec, info});
+    hot_map_[info->entry_eip].push_back({art.spec, info});
 
     // Redirect the cold entry so chained predecessors reach the hot
     // version ("retranslates and further optimizes those hotspots").
-    auto cit = cold_map_.find(entry_eip);
+    auto cit = cold_map_.find(info->entry_eip);
     if (cit != cold_map_.end()) {
         for (Variant &v : cit->second) {
             if (!v.block->invalidated &&
@@ -815,8 +955,8 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
     // Interior blocks of the trace are covered by this hot version;
     // suppress their own hot registration so overlapping traces are not
     // built for every entry point along the chain.
-    for (size_t ti = 1; ti < trace.size(); ++ti) {
-        auto it = cold_map_.find(trace[ti]->start);
+    for (uint32_t ceip : art.covered_eips) {
+        auto it = cold_map_.find(ceip);
         if (it == cold_map_.end())
             continue;
         for (Variant &v : it->second) {
@@ -830,6 +970,37 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
     }
 
     blocks_.push_back(std::move(info_holder));
+    return info;
+}
+
+BlockInfo *
+Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
+{
+    if (faultInjected(FaultSite::HotXlateAbort)) {
+        // Injected optimization-session abort; the caller's bounded
+        // retry policy decides whether the block stays eligible.
+        stats.add("hot.aborts_injected");
+        return nullptr;
+    }
+    maybeFlushForRoom();
+
+    HotSessionInput input;
+    if (!prepareHotInput(entry_eip, spec, &input))
+        return nullptr;
+
+    HotArtifact art;
+    art.generation = cache_.generation();
+    runHotSession(input, options, /*faults=*/nullptr, &art);
+
+    BlockInfo *info = commitHotArtifact(art);
+    if (info) {
+        // Synchronous sessions stall the guest for the whole
+        // optimization: the full cost is both overhead and hot stall.
+        double cost =
+            options.hot_xlate_cost_per_insn * (info->insn_count + 1);
+        pending_cycles_ += cost;
+        pending_hot_stall_ += cost;
+    }
     return info;
 }
 

@@ -17,10 +17,12 @@
 #include "core/analysis.hh"
 #include "core/blockinfo.hh"
 #include "core/emit_env.hh"
+#include "core/hot_pipeline.hh"
 #include "core/options.hh"
 #include "core/sched.hh"
 #include "ipf/code_cache.hh"
 #include "mem/memory.hh"
+#include "support/faultinject.hh"
 #include "support/stats.hh"
 
 namespace el::core
@@ -59,9 +61,56 @@ class Translator
     /**
      * Build a hot trace rooted at @p entry_eip (the block that hit the
      * heating threshold). Returns null if hot translation fails or is
-     * unprofitable; the cold block then remains in use.
+     * unprofitable; the cold block then remains in use. Synchronous:
+     * prepare + session + commit inline (the translation_threads == 0
+     * path; the pipeline splits the same three steps across threads).
      */
     BlockInfo *translateHot(uint32_t entry_eip, const SpecContext &spec);
+
+    // ----- asynchronous hot-session pipeline entry points ------------
+
+    /**
+     * Snapshot everything a hot session needs (region discovery, trace
+     * selection from the current profile counters, per-block
+     * misalignment policies, the unroll decision) into @p out. Main
+     * thread only. Returns false when no viable trace exists at
+     * @p entry_eip (the caller treats this like a failed session).
+     */
+    bool prepareHotInput(uint32_t entry_eip, const SpecContext &spec,
+                         HotSessionInput *out);
+
+    /**
+     * Run one hot emission + scheduling session against a frozen
+     * input, into the artifact's private staging cache. Static and
+     * re-entrant: builds its own EmitEnv, touches no translator state,
+     * and may run on any pipeline worker concurrently with translation
+     * and guest execution. @p faults is the caller's injection stream
+     * (null = no injection); workers pass a per-candidate FaultStream
+     * so injection stays deterministic across thread counts.
+     */
+    static void runHotSession(const HotSessionInput &input,
+                              const Options &options,
+                              FaultStream *faults, HotArtifact *out);
+
+    /**
+     * Publish a finished session into the shared code cache: the
+     * generation-checked commit step. Discards (returning null) when
+     * the artifact's generation is stale — a concurrent flushAll() GC
+     * means its stubs and profile offsets refer to dead state — or when
+     * publication itself would overflow the cache. On success the hot
+     * block is registered, cold entries are redirected and interior
+     * trace blocks are covered, exactly as a synchronous session would.
+     * Session statistics carried by the artifact are merged here.
+     */
+    BlockInfo *commitHotArtifact(HotArtifact &artifact);
+
+    /** Simulated cycles one session over @p input occupies a worker. */
+    double
+    hotSessionCost(const HotSessionInput &input) const
+    {
+        return options.hot_xlate_cost_per_insn *
+               (static_cast<double>(input.trace_insns) * input.copies + 1);
+    }
 
     /** Move a block to the detailed misalignment stage (cold stage 2). */
     BlockInfo *regenerateForMisalignment(uint32_t eip,
@@ -100,8 +149,23 @@ class Translator
     BlockInfo *blockById(int32_t id);
 
     /** Stop a cold block's use counter from re-registering (covered by
-     *  a hot trace or permanently failed hot translation). */
+     *  a hot trace, an in-flight pipeline session, or a permanently
+     *  failed hot translation). The Exit becomes a Nop but keeps its
+     *  RegisterHot reason so enableHeat() can re-arm it. */
     void disableHeat(BlockInfo *block);
+
+    /** Re-arm a use counter silenced by disableHeat() (a pipelined hot
+     *  session failed or was discarded; the block may retry). */
+    void enableHeat(BlockInfo *block);
+
+    /**
+     * Restore a block's patched direct-branch exits to LinkMiss stubs.
+     * While a pipeline session for the block is in flight this keeps
+     * every traversal exiting to the runtime at the block end — the
+     * guest makes forward progress between exits, and each exit is an
+     * adoption boundary. Links re-form lazily afterwards.
+     */
+    void unlinkBlockExits(BlockInfo *block);
 
     /** Profile-counter value read from the runtime area. */
     uint32_t readCounter(int64_t off) const;
@@ -117,6 +181,28 @@ class Translator
         double c = pending_cycles_;
         pending_cycles_ = 0;
         return c;
+    }
+
+    /**
+     * The subset of pending overhead during which the guest was stalled
+     * waiting on hot translation specifically (the quantity the async
+     * pipeline shrinks). Runtime drains it into "hot.stall_cycles".
+     */
+    double
+    takePendingHotStallCycles()
+    {
+        double c = pending_hot_stall_;
+        pending_hot_stall_ = 0;
+        return c;
+    }
+
+    /** Record guest stall cycles attributed to hot translation and
+     *  charge them as translator overhead (async enqueue/publish). */
+    void
+    chargeHotStall(double cycles)
+    {
+        pending_cycles_ += cycles;
+        pending_hot_stall_ += cycles;
     }
 
     const Options &options;
@@ -146,12 +232,33 @@ class Translator
                                  MisalignStage stage,
                                  bool allow_flush_retry);
 
-    /** Translate the final control transfer of a block/trace. */
-    void emitBlockEnd(EmitEnv &env, const BasicBlock &bb,
-                      BlockInfo *info, bool trace_mode,
-                      int32_t loop_target_il);
+    /** Translate the final control transfer of a block/trace. Pure
+     *  function of its arguments (safe on pipeline workers). */
+    static void emitBlockEnd(EmitEnv &env, const BasicBlock &bb,
+                             BlockInfo *info, bool trace_mode,
+                             int32_t loop_target_il);
 
-    /** Finish: concatenate head+body, schedule, fill BlockInfo. */
+    /** Scheduling counters produced by finishInto (merged into the
+     *  shared StatGroup on the main thread only). */
+    struct SchedTally
+    {
+        uint32_t groups = 0;
+        uint32_t dead_removed = 0;
+        uint32_t loads_speculated = 0;
+        int64_t ipf_insns = 0;
+    };
+
+    /**
+     * Finish a translation into @p cache: concatenate head+body,
+     * schedule, fill BlockInfo cache placement / recovery / stubs.
+     * Static and re-entrant — hot sessions call it against their
+     * private staging cache from worker threads.
+     */
+    static bool finishInto(EmitEnv &env, BlockInfo *info,
+                           ipf::CodeCache &cache, const Options &options,
+                           bool reorder, SchedTally *tally);
+
+    /** finishInto against the shared cache + immediate stat merge. */
     bool finishBlock(EmitEnv &env, BlockInfo *info, bool reorder);
 
     /** Select the hot trace starting at @p eip. */
@@ -168,6 +275,7 @@ class Translator
     std::vector<std::unique_ptr<BlockInfo>> blocks_;
     int64_t profile_next_ = rt::profile_base;
     double pending_cycles_ = 0;
+    double pending_hot_stall_ = 0;
     bool injected_abort_ = false;
 };
 

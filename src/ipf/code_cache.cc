@@ -48,8 +48,43 @@ CodeCache::exhausted(size_t headroom)
 void
 CodeCache::flushAll()
 {
+    std::lock_guard<std::mutex> lk(*publish_mu_);
     code_.clear();
     ++generation_;
+}
+
+int64_t
+CodeCache::publish(const CodeCache &staging,
+                   uint64_t expected_generation, int32_t final_block_id)
+{
+    std::lock_guard<std::mutex> lk(*publish_mu_);
+    if (generation_ != expected_generation)
+        return -1;
+    int64_t base = static_cast<int64_t>(code_.size());
+    code_.reserve(code_.size() + staging.code_.size());
+    for (Instr i : staging.code_) {
+        // Branch/chk targets inside a staged block are staging-relative
+        // (the staging cache starts at index 0); rebase them. Exit
+        // stubs carry target == -1 and are linked later.
+        if (i.target >= 0)
+            i.target += base;
+        i.meta.block_id = final_block_id;
+        code_.push_back(i);
+    }
+    if (code_.size() > high_water_)
+        high_water_ = code_.size();
+    return base;
+}
+
+bool
+CodeCache::patchToBranchChecked(int64_t idx, int64_t target,
+                                uint64_t expected_generation)
+{
+    std::lock_guard<std::mutex> lk(*publish_mu_);
+    if (generation_ != expected_generation)
+        return false;
+    patchToBranch(idx, target);
+    return true;
 }
 
 uint64_t

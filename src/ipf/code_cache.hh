@@ -24,6 +24,8 @@
 #define EL_IPF_CODE_CACHE_HH
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ipf/insn.hh"
@@ -103,11 +105,42 @@ class CodeCache
     /** Largest size ever reached (never reset by flushes). */
     size_t highWater() const { return high_water_; }
 
+    // ----- asynchronous publication (hot-translation pipeline) --------
+
+    /**
+     * Publish a block staged in a private cache: append every staged
+     * instruction after rebasing its intra-block branch/chk targets and
+     * stamping @p final_block_id into the metadata. The append happens
+     * only if the cache is still at @p expected_generation — a staged
+     * translation raced by a flushAll() GC must be discarded, never
+     * spliced into the new generation. Returns the base index of the
+     * published code, or -1 when the generation moved.
+     *
+     * Serialized against other publish/patch calls by the publication
+     * lock. Execution (Machine) and the cold translator stay on the
+     * owning thread; the lock exists so future sharded dispatchers can
+     * publish from several runtimes safely.
+     */
+    int64_t publish(const CodeCache &staging,
+                    uint64_t expected_generation,
+                    int32_t final_block_id);
+
+    /**
+     * Generation-checked patchToBranch(): patches only when the cache
+     * is still at @p expected_generation (same lock as publish()).
+     * Returns false when the exit belongs to a dead generation.
+     */
+    bool patchToBranchChecked(int64_t idx, int64_t target,
+                              uint64_t expected_generation);
+
   private:
     std::vector<Instr> code_;
     size_t capacity_ = 0;
     size_t high_water_ = 0;
     uint64_t generation_ = 0;
+    /** Publication lock (unique_ptr keeps the cache movable). */
+    std::unique_ptr<std::mutex> publish_mu_ =
+        std::make_unique<std::mutex>();
 };
 
 } // namespace el::ipf

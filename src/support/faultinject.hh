@@ -21,6 +21,7 @@
 #define EL_SUPPORT_FAULTINJECT_HH
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -75,7 +76,18 @@ struct FaultConfig
     }
 };
 
-/** Seeded, deterministic fault injector with per-site fire accounting. */
+/**
+ * Seeded, deterministic fault injector with per-site fire accounting.
+ *
+ * The main translation thread consults it through shouldFire(), which
+ * advances the injector's primary PRNG stream. Pipeline workers must
+ * not touch that stream (its consumption order would then depend on
+ * thread scheduling); they derive an independent FaultStream keyed by
+ * the work item's sequence number instead, so worker-side injection is
+ * reproducible regardless of worker count or scheduling. Accounting
+ * (fires, consults, the max_fires budget) is atomic and shared across
+ * all streams.
+ */
 class FaultInjector
 {
   public:
@@ -83,28 +95,102 @@ class FaultInjector
         : cfg_(cfg), rng_(cfg.seed ? cfg.seed : 1)
     {}
 
-    /** Roll the dice for @p site; true means the caller must fail. */
+    FaultInjector(const FaultInjector &o) { *this = o; }
+    FaultInjector &
+    operator=(const FaultInjector &o)
+    {
+        cfg_ = o.cfg_;
+        rng_ = o.rng_;
+        for (std::size_t i = 0; i < num_fault_sites; ++i)
+            fires_[i].store(o.fires_[i].load());
+        total_fires_.store(o.total_fires_.load());
+        total_consults_.store(o.total_consults_.load());
+        return *this;
+    }
+
+    /** Roll the dice for @p site; true means the caller must fail.
+     *  Main-thread only (advances the primary PRNG stream). */
     bool shouldFire(FaultSite site);
 
     /** Deterministic uniform pick in [0, n); used for storm kinds. */
     uint64_t pick(uint64_t n) { return rng_.range(n); }
 
+    /** Seed for the derived PRNG stream @p stream_id (thread-safe). */
+    uint64_t
+    streamSeed(uint64_t stream_id) const
+    {
+        // SplitMix-style mix keeps derived streams uncorrelated with
+        // the primary stream and with each other.
+        uint64_t z = (cfg_.seed ? cfg_.seed : 1) ^
+                     (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        return z ^ (z >> 27);
+    }
+
+    /**
+     * Record one consult + (maybe) one fire from a derived stream.
+     * Returns false when the shared max_fires budget is exhausted (the
+     * caller then must NOT fail). Thread-safe.
+     */
+    bool recordStreamFire(FaultSite site);
+    void recordStreamConsult() { total_consults_.fetch_add(1); }
+
     uint64_t
     fires(FaultSite site) const
     {
-        return fires_[static_cast<std::size_t>(site)];
+        return fires_[static_cast<std::size_t>(site)].load();
     }
 
-    uint64_t totalFires() const { return total_fires_; }
-    uint64_t totalConsults() const { return total_consults_; }
+    uint64_t totalFires() const { return total_fires_.load(); }
+    uint64_t totalConsults() const { return total_consults_.load(); }
     const FaultConfig &config() const { return cfg_; }
 
   private:
     FaultConfig cfg_;
     Rng rng_;
-    std::array<uint64_t, num_fault_sites> fires_{};
-    uint64_t total_fires_ = 0;
-    uint64_t total_consults_ = 0;
+    std::array<std::atomic<uint64_t>, num_fault_sites> fires_{};
+    std::atomic<uint64_t> total_fires_{0};
+    std::atomic<uint64_t> total_consults_{0};
+};
+
+/**
+ * An independent, deterministic injection stream derived from a parent
+ * injector. Used by pipeline workers: the stream id is the work item's
+ * sequence number, so the dice rolls for one hot-translation session
+ * are a pure function of (config seed, candidate sequence), never of
+ * which worker ran it or when. Fires are accounted into the parent
+ * atomically and honor the shared max_fires budget (budget exhaustion
+ * order across concurrent streams is the one wall-clock-dependent
+ * aspect; probabilities of 0 or 1024 are exactly reproducible).
+ */
+class FaultStream
+{
+  public:
+    /** @p parent may be null: every site is then dead. */
+    FaultStream(FaultInjector *parent, uint64_t stream_id)
+        : parent_(parent),
+          rng_(parent ? parent->streamSeed(stream_id) : 0)
+    {}
+
+    /** Roll this stream's dice for @p site (thread-safe). */
+    bool
+    shouldFire(FaultSite site)
+    {
+        if (!parent_)
+            return false;
+        parent_->recordStreamConsult();
+        uint16_t p =
+            parent_->config().prob[static_cast<std::size_t>(site)];
+        if (!p)
+            return false;
+        if (rng_.range(1024) >= p)
+            return false;
+        return parent_->recordStreamFire(site);
+    }
+
+  private:
+    FaultInjector *parent_;
+    Rng rng_;
 };
 
 /** The currently installed injector, or null (no injection). */

@@ -1,0 +1,23 @@
+#include "support/pipeline.hh"
+
+namespace el::support
+{
+
+void
+WorkerPool::start(unsigned count, Body body)
+{
+    threads_.reserve(threads_.size() + count);
+    for (unsigned w = 0; w < count; ++w)
+        threads_.emplace_back(body, w);
+}
+
+void
+WorkerPool::join()
+{
+    for (std::thread &t : threads_)
+        if (t.joinable())
+            t.join();
+    threads_.clear();
+}
+
+} // namespace el::support
