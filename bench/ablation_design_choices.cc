@@ -50,11 +50,22 @@ main()
     double fp_base = cyclesWith(fpw, base);
     double mis_base = cyclesWith(misw, base);
 
+    bench::Report rep("ablation_design_choices");
+    rep.scalar("baseline_int_cycles", int_base);
+    rep.scalar("baseline_fp_cycles", fp_base);
+    rep.scalar("baseline_mis_cycles", mis_base);
+
     Table t({"feature disabled", "workload", "slowdown"});
     auto row = [&](const char *name, const guest::Workload &w,
                    double base_cycles, core::Options o) {
-        double c = cyclesWith(w, o);
+        harness::TranslatedRun tr =
+            harness::runTranslated(w.image, w.params.abi, o);
+        double c = tr.outcome.cycles;
         t.addRow({name, w.name, strfmt("%.2fx", c / base_cycles)});
+        rep.row(name)
+            .metric("cycles", c)
+            .metric("slowdown", c / base_cycles)
+            .attribution(*tr.runtime);
     };
 
     {
@@ -103,6 +114,7 @@ main()
         o.max_run_cycles = 8ULL * 1000 * 1000 * 1000;
         row("misalignment avoidance", misw, mis_base, o);
     }
+    rep.write();
     std::printf("%s\n", t.render().c_str());
     std::printf("Interpretation: >1.00x means the feature pays off on\n"
                 "its stress workload; the FP-stack-in-memory row is the\n"

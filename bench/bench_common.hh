@@ -11,12 +11,18 @@
 #define EL_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <deque>
+#include <fstream>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/report.hh"
 #include "guest/workloads.hh"
 #include "harness/exec.hh"
 #include "harness/native.hh"
+#include "support/json.hh"
 #include "support/stats.hh"
 #include "support/strfmt.hh"
 
@@ -50,6 +56,118 @@ pct(double v)
 {
     return strfmt("%5.1f%%", v * 100.0);
 }
+
+/**
+ * Machine-readable companion to the printed tables: every bench binary
+ * builds one Report and write()s it as `BENCH_<name>.json` in the
+ * working directory (CI uploads these as artifacts). Rows carry the
+ * per-personality / per-configuration numbers; scalars carry the
+ * headline aggregates (geomeans, speedups); rows that ran a translated
+ * workload attach the Figure-6 cycle-attribution buckets.
+ */
+class Report
+{
+  public:
+    struct Row
+    {
+        std::string label;
+        std::vector<std::pair<std::string, double>> metrics;
+        bool has_attr = false;
+        core::Attribution attr;
+
+        Row &
+        metric(const std::string &key, double value)
+        {
+            metrics.emplace_back(key, value);
+            return *this;
+        }
+
+        Row &
+        attribution(core::Runtime &rt)
+        {
+            attr = core::attributionOf(rt);
+            has_attr = true;
+            return *this;
+        }
+    };
+
+    explicit Report(std::string name) : name_(std::move(name)) {}
+
+    /** Add a row; the reference stays valid for further chaining. */
+    Row &
+    row(const std::string &label)
+    {
+        rows_.emplace_back();
+        rows_.back().label = label;
+        return rows_.back();
+    }
+
+    void
+    scalar(const std::string &key, double value)
+    {
+        scalars_.emplace_back(key, value);
+    }
+
+    std::string
+    json() const
+    {
+        json::Writer w;
+        w.beginObject();
+        w.kv("bench", name_);
+        w.key("scalars");
+        w.beginObject();
+        for (const auto &[k, v] : scalars_)
+            w.kv(k, v);
+        w.endObject();
+        w.key("rows");
+        w.beginArray();
+        for (const Row &r : rows_) {
+            w.beginObject();
+            w.kv("label", r.label);
+            w.key("metrics");
+            w.beginObject();
+            for (const auto &[k, v] : r.metrics)
+                w.kv(k, v);
+            w.endObject();
+            if (r.has_attr) {
+                w.key("attribution");
+                w.beginObject();
+                w.kv("cold_code", r.attr.cold_code);
+                w.kv("hot_code", r.attr.hot_code);
+                w.kv("btgeneric", r.attr.btgeneric);
+                w.kv("fault_handling", r.attr.fault_handling);
+                w.kv("native", r.attr.native);
+                w.kv("idle", r.attr.idle);
+                w.kv("total", r.attr.total());
+                w.endObject();
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        return w.str() + "\n";
+    }
+
+    bool
+    write() const
+    {
+        std::string path = "BENCH_" + name_ + ".json";
+        std::ofstream f(path, std::ios::binary);
+        if (f)
+            f << json();
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::printf("bench json: %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, double>> scalars_;
+    std::deque<Row> rows_; // deque: row() references must stay valid
+};
 
 inline void
 banner(const char *title, const char *paper_ref)

@@ -28,7 +28,7 @@ struct Run
 };
 
 Run
-runWith(const guest::Workload &w, uint32_t threads)
+runWith(const guest::Workload &w, uint32_t threads, bench::Report &rep)
 {
     core::Options o;
     o.heat_threshold = 16;
@@ -45,14 +45,21 @@ runWith(const guest::Workload &w, uint32_t threads)
     r.adopted = tr.runtime->stats().get("hot.adopted");
     r.hot_blocks =
         tr.runtime->translator().stats.get("xlate.hot_blocks");
+    rep.row(w.name + strfmt("/t%u", threads))
+        .metric("threads", threads)
+        .metric("cycles", r.cycles)
+        .metric("stall_cycles", static_cast<double>(r.stall))
+        .metric("hot_blocks", static_cast<double>(r.hot_blocks))
+        .metric("adopted", static_cast<double>(r.adopted))
+        .attribution(*tr.runtime);
     return r;
 }
 
 void
-sweep(const guest::Workload &w)
+sweep(const guest::Workload &w, bench::Report &rep)
 {
     std::printf("\n[%s]\n", w.name.c_str());
-    Run sync = runWith(w, 0);
+    Run sync = runWith(w, 0, rep);
     Table t({"threads", "hot stall cyc", "stall vs sync", "speedup",
              "hot blocks", "adopted"});
     t.addRow({"0 (sync)",
@@ -62,7 +69,11 @@ sweep(const guest::Workload &w)
                      static_cast<unsigned long long>(sync.hot_blocks)),
               "-"});
     for (uint32_t threads : {1u, 2u, 4u}) {
-        Run r = runWith(w, threads);
+        Run r = runWith(w, threads, rep);
+        if (threads == 4 && sync.stall)
+            rep.scalar(w.name + "_stall_reduction_t4",
+                       1.0 - static_cast<double>(r.stall) /
+                                 static_cast<double>(sync.stall));
         t.addRow({strfmt("%u", threads),
                   strfmt("%llu",
                          static_cast<unsigned long long>(r.stall)),
@@ -88,16 +99,18 @@ main()
                   "section 2's two-phase split, decoupled "
                   "(no paper figure)");
 
+    bench::Report rep("case_async_pipeline");
     guest::WorkloadParams gz;
     gz.outer_iters = 60;
     gz.size = 24000;
-    sweep(guest::buildStream("gzip", gz));
+    sweep(guest::buildStream("gzip", gz), rep);
 
     guest::WorkloadParams bz;
     bz.outer_iters = 50;
     bz.size = 28000;
-    sweep(guest::buildStream("bzip2", bz));
+    sweep(guest::buildStream("bzip2", bz), rep);
 
+    rep.write();
     std::printf("Interpretation: workers absorb the optimization "
                 "sessions, so guest-visible\nstall shrinks to "
                 "enqueue + publication; architectural results are "

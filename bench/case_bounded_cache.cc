@@ -27,7 +27,8 @@ struct Run
 };
 
 Run
-runWith(const guest::Workload &w, core::Options o)
+runWith(const guest::Workload &w, core::Options o, bench::Report &rep,
+        const std::string &label)
 {
     harness::TranslatedRun tr =
         harness::runTranslated(w.image, w.params.abi, o);
@@ -37,6 +38,12 @@ runWith(const guest::Workload &w, core::Options o)
     r.cold_blocks =
         tr.runtime->translator().stats.get("xlate.cold_blocks");
     r.high_water = tr.runtime->codeCache().highWater();
+    rep.row(label)
+        .metric("cycles", r.cycles)
+        .metric("flushes", static_cast<double>(r.flushes))
+        .metric("cold_xlates", static_cast<double>(r.cold_blocks))
+        .metric("high_water", static_cast<double>(r.high_water))
+        .attribution(*tr.runtime);
     return r;
 }
 
@@ -58,7 +65,8 @@ main()
     core::Options base;
     base.heat_threshold = 16;
     base.hot_batch = 1;
-    Run unbounded = runWith(intw, base);
+    bench::Report rep("case_bounded_cache");
+    Run unbounded = runWith(intw, base, rep, "unbounded");
 
     Table t({"capacity", "slowdown", "flushes", "cold xlates",
              "high water"});
@@ -72,7 +80,9 @@ main()
         core::Options o = base;
         o.code_cache_capacity = cap;
         o.cache_headroom = cap >= 2048 ? 768 : 512;
-        Run r = runWith(intw, o);
+        Run r = runWith(intw, o, rep, strfmt("cap_%zu", cap));
+        rep.scalar(strfmt("slowdown_cap_%zu", cap),
+                   r.cycles / unbounded.cycles);
         t.addRow({strfmt("%zu", cap),
                   strfmt("%.2fx", r.cycles / unbounded.cycles),
                   strfmt("%llu",
@@ -81,6 +91,7 @@ main()
                          static_cast<unsigned long long>(r.cold_blocks)),
                   strfmt("%zu", r.high_water)});
     }
+    rep.write();
     std::printf("%s\n", t.render().c_str());
     std::printf("Interpretation: the cache never exceeds its cap (high\n"
                 "water <= capacity); shrinking the cap trades cycles for\n"

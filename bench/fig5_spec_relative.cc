@@ -28,6 +28,7 @@ main()
                  "EL score (ours)", "EL score (paper)"});
     std::vector<double> ours;
     std::vector<double> theirs;
+    bench::Report rep("fig5_spec_relative");
 
     for (guest::Workload &w : guest::specIntSuite()) {
         harness::TranslatedRun tr =
@@ -39,9 +40,18 @@ main()
         table.addRow({w.name, strfmt("%.0f", tr.outcome.cycles),
                       strfmt("%.0f", nat), strfmt("%.1f%%", rel),
                       strfmt("%.0f%%", paper.at(w.name))});
+        rep.row(w.name)
+            .metric("el_cycles", tr.outcome.cycles)
+            .metric("native_cycles", nat)
+            .metric("score_pct", rel)
+            .metric("paper_pct", paper.at(w.name))
+            .attribution(*tr.runtime);
     }
     table.addRow({"GeoMean", "", "", strfmt("%.1f%%", geomean(ours)),
                   strfmt("%.0f%%", geomean(theirs))});
+    rep.scalar("geomean_pct", geomean(ours));
+    rep.scalar("paper_geomean_pct", geomean(theirs));
+    rep.write();
     std::printf("%s\n", table.render().c_str());
     std::printf("Shape checks: mcf should be the best (small 32-bit\n"
                 "footprint), crafty/eon the worst (indirect branches),\n"

@@ -17,6 +17,7 @@ main()
     double hot = 0, cold = 0, ovh = 0, other = 0;
     unsigned n = 0;
     Table table({"benchmark", "hot", "cold", "overhead", "other"});
+    bench::Report rep("fig6_time_distribution");
     for (guest::Workload &w : guest::specIntSuite()) {
         harness::TranslatedRun tr =
             harness::runTranslated(w.image, w.params.abi);
@@ -24,6 +25,13 @@ main()
         double oth = d.native + d.idle;
         table.addRow({w.name, bench::pct(d.hot), bench::pct(d.cold),
                       bench::pct(d.overhead), bench::pct(oth)});
+        rep.row(w.name)
+            .metric("cycles", tr.outcome.cycles)
+            .metric("hot_frac", d.hot)
+            .metric("cold_frac", d.cold)
+            .metric("overhead_frac", d.overhead)
+            .metric("other_frac", oth)
+            .attribution(*tr.runtime);
         hot += d.hot;
         cold += d.cold;
         ovh += d.overhead;
@@ -33,6 +41,11 @@ main()
     table.addRow({"Average", bench::pct(hot / n), bench::pct(cold / n),
                   bench::pct(ovh / n), bench::pct(other / n)});
     table.addRow({"(paper)", "95.0%", "3.0%", "1.0%", "1.0%"});
+    rep.scalar("avg_hot_frac", hot / n);
+    rep.scalar("avg_cold_frac", cold / n);
+    rep.scalar("avg_overhead_frac", ovh / n);
+    rep.scalar("avg_other_frac", other / n);
+    rep.write();
     std::printf("%s\n", table.render().c_str());
     std::printf("Shape check: hot code should dominate (>90%%) — the\n"
                 "paper's \"hot trace selection was accurate\" claim.\n");

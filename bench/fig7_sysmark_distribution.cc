@@ -20,6 +20,7 @@ main()
     unsigned n = 0;
     Table table({"application", "hot", "cold", "overhead", "native(OS)",
                  "idle"});
+    bench::Report rep("fig7_sysmark_distribution");
     for (guest::Workload &w : guest::sysmarkSuite()) {
         harness::TranslatedRun tr =
             harness::runTranslated(w.image, w.params.abi);
@@ -27,6 +28,14 @@ main()
         table.addRow({w.name, bench::pct(d.hot), bench::pct(d.cold),
                       bench::pct(d.overhead), bench::pct(d.native),
                       bench::pct(d.idle)});
+        rep.row(w.name)
+            .metric("cycles", tr.outcome.cycles)
+            .metric("hot_frac", d.hot)
+            .metric("cold_frac", d.cold)
+            .metric("overhead_frac", d.overhead)
+            .metric("native_frac", d.native)
+            .metric("idle_frac", d.idle)
+            .attribution(*tr.runtime);
         hot += d.hot;
         cold += d.cold;
         ovh += d.overhead;
@@ -38,6 +47,12 @@ main()
                   bench::pct(ovh / n), bench::pct(native / n),
                   bench::pct(idle / n)});
     table.addRow({"(paper)", "46.0%", "5.0%", "12.0%", "22.0%", "15.0%"});
+    rep.scalar("avg_hot_frac", hot / n);
+    rep.scalar("avg_cold_frac", cold / n);
+    rep.scalar("avg_overhead_frac", ovh / n);
+    rep.scalar("avg_native_frac", native / n);
+    rep.scalar("avg_idle_frac", idle / n);
+    rep.write();
     std::printf("%s\n", table.render().c_str());
     std::printf("Shape checks vs Figure 6: hot fraction drops sharply,\n"
                 "overhead rises (more code translated, executed less),\n"

@@ -21,11 +21,18 @@ main()
     double cold_blocks = 0, cold_insns = 0, hot_blocks = 0, hot_insns = 0;
     double hot_ipf = 0, commit_points = 0, registrations = 0;
     double hot_cycles = 0, cold_cycles = 0, hot_ret = 0, cold_ret = 0;
+    bench::Report rep("scalar_claims");
 
     for (guest::Workload &w : guest::specIntSuite()) {
         harness::TranslatedRun tr =
             harness::runTranslated(w.image, w.params.abi);
         StatGroup &st = tr.runtime->translator().stats;
+        rep.row(w.name)
+            .metric("cycles", tr.outcome.cycles)
+            .metric("cold_blocks", st.get("xlate.cold_blocks"))
+            .metric("hot_blocks", st.get("xlate.hot_blocks"))
+            .metric("commit_points", st.get("hot.commit_points"))
+            .attribution(*tr.runtime);
         cold_blocks += st.get("xlate.cold_blocks");
         cold_insns += st.get("xlate.cold_insns");
         hot_blocks += st.get("xlate.hot_blocks");
@@ -80,6 +87,17 @@ main()
                     "(paper: ~3x)\n",
                     hot.outcome.cycles, cold.outcome.cycles,
                     cold.outcome.cycles / hot.outcome.cycles);
+        rep.scalar("hot_vs_cold_speedup",
+                   cold.outcome.cycles / hot.outcome.cycles);
     }
+    rep.scalar("hot_cold_xlate_cost_ratio", hot_cost / cold_cost);
+    rep.scalar("avg_insns_per_cold_block", cold_insns / cold_blocks);
+    rep.scalar("avg_insns_per_hot_trace", hot_insns / hot_blocks);
+    rep.scalar("pct_cold_blocks_hot", 100.0 * hot_blocks / cold_blocks);
+    rep.scalar("commit_points_per_10_hot_insns",
+               10.0 * commit_points / hot_ipf);
+    rep.scalar("hot_cpi", hot_cpi);
+    rep.scalar("cold_cpi", cold_cpi);
+    rep.write();
     return 0;
 }

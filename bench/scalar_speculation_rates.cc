@@ -16,10 +16,18 @@ main()
 
     uint64_t tos_miss = 0, tag_miss = 0, dom_miss = 0, fmt_miss = 0;
     uint64_t link_exits = 0, executions = 0;
+    bench::Report rep("scalar_speculation_rates");
     for (guest::Workload &w : guest::specFpSuite()) {
         harness::TranslatedRun tr =
             harness::runTranslated(w.image, w.params.abi);
         StatGroup &st = tr.runtime->stats();
+        rep.row(w.name)
+            .metric("cycles", tr.outcome.cycles)
+            .metric("tos_miss", st.get("guard.tos_miss"))
+            .metric("tag_miss", st.get("guard.tag_miss"))
+            .metric("domain_miss", st.get("guard.domain_miss"))
+            .metric("format_miss", st.get("guard.format_miss"))
+            .attribution(*tr.runtime);
         tos_miss += st.get("guard.tos_miss");
         tag_miss += st.get("guard.tag_miss");
         dom_miss += st.get("guard.domain_miss");
@@ -50,6 +58,12 @@ main()
               strfmt("%.2f%%", rate(dom_miss)), "~100%"});
     t.addRow({"SSE format", strfmt("%llu", (unsigned long long)fmt_miss),
               strfmt("%.2f%%", rate(fmt_miss)), ">99.8%"});
+    rep.scalar("tos_success_pct", rate(tos_miss));
+    rep.scalar("tag_success_pct", rate(tag_miss));
+    rep.scalar("domain_success_pct", rate(dom_miss));
+    rep.scalar("format_success_pct", rate(fmt_miss));
+    rep.scalar("block_executions", static_cast<double>(executions));
+    rep.write();
     std::printf("%s\n", t.render().c_str());
     std::printf("(block executions approximated: %llu)\n",
                 (unsigned long long)executions);

@@ -78,6 +78,15 @@ main()
     table.addRow({"paper's claim", "\"negligible\""});
     std::printf("%s\n", table.render().c_str());
 
+    bench::Report rep("tab1_precise_state_overhead");
+    rep.row("push-heavy-kernel")
+        .metric("cold_ia32_insns", static_cast<double>(cold_ia32))
+        .metric("cold_ipf_insns", static_cast<double>(cold_ipf))
+        .metric("state_reg_insns", static_cast<double>(state_reg_insns))
+        .metric("code_size_overhead_pct",
+                100.0 * state_reg_insns / static_cast<double>(cold_ipf))
+        .attribution(*run.runtime);
+
     // Correctness side: fault precision (Table 1's correct ordering).
     Assembler f(Layout::code_base);
     f.movRI(RegEsp, 0x40); // unmapped page 0
@@ -91,13 +100,15 @@ main()
     harness::Outcome ref = harness::runInterpreter(fimg, btlib::OsAbi::Linux);
     harness::TranslatedRun tr =
         harness::runTranslated(fimg, btlib::OsAbi::Linux, cold_only);
+    bool precise = ref.final_state.gpr[RegEsp] ==
+                   tr.outcome.final_state.gpr[RegEsp];
     std::printf("fault-ordering check: interpreter esp=%08x, "
                 "translated esp=%08x -> %s\n",
                 ref.final_state.gpr[RegEsp],
                 tr.outcome.final_state.gpr[RegEsp],
-                ref.final_state.gpr[RegEsp] ==
-                        tr.outcome.final_state.gpr[RegEsp]
-                    ? "PRECISE (Table 1 'correct' ordering)"
-                    : "IMPRECISE");
+                precise ? "PRECISE (Table 1 'correct' ordering)"
+                        : "IMPRECISE");
+    rep.scalar("fault_ordering_precise", precise ? 1.0 : 0.0);
+    rep.write();
     return 0;
 }

@@ -28,7 +28,9 @@ HotPipeline::workerLoop()
         art.seq = cand.seq;
         art.cold_block_id = cand.cold_block_id;
         art.generation = cand.generation;
+        art.start_cycles = cand.start_cycles;
         art.ready_cycles = cand.ready_cycles;
+        art.worker_slot = cand.worker_slot;
         session_(cand, &art);
         {
             std::lock_guard<std::mutex> lk(results_mu_);
@@ -49,7 +51,10 @@ HotPipeline::enqueue(HotCandidate candidate, double now,
     // real thread scheduling, so deterministic adoption is replayable.
     auto it = std::min_element(worker_avail_.begin(), worker_avail_.end());
     double start = std::max(now, *it);
+    candidate.start_cycles = start;
     candidate.ready_cycles = start + session_cost;
+    candidate.worker_slot =
+        static_cast<unsigned>(it - worker_avail_.begin());
     *it = candidate.ready_cycles;
     pending_ready_[candidate.seq] = candidate.ready_cycles;
     uint64_t seq = candidate.seq;

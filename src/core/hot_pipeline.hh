@@ -48,6 +48,7 @@
 #include "core/emit_env.hh"
 #include "ipf/code_cache.hh"
 #include "support/pipeline.hh"
+#include "support/stats.hh"
 
 namespace el::core
 {
@@ -78,7 +79,9 @@ struct HotCandidate
     uint64_t seq = 0;          //!< Enqueue sequence (and fault stream id).
     int32_t cold_block_id = -1;
     uint64_t generation = 0;   //!< Code-cache generation at enqueue.
+    double start_cycles = 0;   //!< Planned session start (simulated).
     double ready_cycles = 0;   //!< Planned completion (simulated time).
+    unsigned worker_slot = 0;  //!< Simulated worker lane the plan chose.
     HotSessionInput input;
 };
 
@@ -88,7 +91,9 @@ struct HotArtifact
     uint64_t seq = 0;
     int32_t cold_block_id = -1;
     uint64_t generation = 0;
+    double start_cycles = 0;
     double ready_cycles = 0;
+    unsigned worker_slot = 0;
 
     bool ok = false;             //!< Session produced a publishable trace.
     bool injected_abort = false; //!< Failed via FaultSite::HotXlateAbort.
@@ -104,15 +109,13 @@ struct HotArtifact
     BlockInfo proto;
     ipf::CodeCache staging;      //!< Emitted code at indices [0, n).
 
-    // Session statistics, merged into the translator's StatGroup at
-    // adoption (workers must not touch the shared group).
-    uint32_t stat_groups = 0;
-    uint32_t stat_dead_removed = 0;
-    uint32_t stat_loads_speculated = 0;
-    uint32_t stat_fxch_eliminated = 0;
-    uint32_t stat_trace_blocks = 0;
-    uint32_t stat_sched_failures = 0;
-    uint32_t stat_loopback_edges = 0;
+    /**
+     * Per-session statistics, filled by the worker and merged into the
+     * translator's shared StatGroup at adoption on the main thread —
+     * workers never touch the shared group, so `translator().stats` is
+     * race-free under any worker count (TSan-verified).
+     */
+    StatGroup stats;
 };
 
 /**

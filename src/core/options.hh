@@ -17,6 +17,11 @@
 
 #include "support/faultinject.hh"
 
+namespace el::trace
+{
+class Tracer;
+} // namespace el::trace
+
 namespace el::core
 {
 
@@ -93,6 +98,14 @@ struct Options
 
     // ----- fault injection (chaos testing; off by default) ----------
     FaultConfig fault;
+
+    // ----- observability (off by default; zero-cost when off) -------
+    trace::Tracer *trace = nullptr; //!< Lifecycle event sink (not owned).
+                                    //!< Null = every trace site is one
+                                    //!< predictable branch.
+    bool collect_block_cycles = false; //!< Per-block cycle accounting in
+                                       //!< the machine, for the run
+                                       //!< report's per-block rows.
 };
 
 } // namespace el::core

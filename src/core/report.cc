@@ -1,0 +1,148 @@
+#include "core/report.hh"
+
+#include <fstream>
+
+#include "core/runtime.hh"
+#include "support/json.hh"
+
+namespace el::core
+{
+
+using ipf::Bucket;
+
+namespace
+{
+
+double
+bucketCycles(const ipf::BucketStats &st, Bucket b)
+{
+    return st.cycles[static_cast<size_t>(b)];
+}
+
+double
+misalignIn(const ipf::Machine &m, Bucket b)
+{
+    return m.misalignCycles()[static_cast<size_t>(b)];
+}
+
+} // namespace
+
+Attribution
+attributionOf(Runtime &rt)
+{
+    const ipf::Machine &m = rt.machine();
+    const ipf::BucketStats &st = m.stats();
+    double fault_overhead = rt.faultOverheadCycles();
+
+    // Misalignment penalties were charged into the bucket of the
+    // faulting instruction; pull them out of each bucket and pool them
+    // with the runtime's guard-repair overhead. Every subtraction
+    // re-appears as an addition in fault_handling, and all values are
+    // integer-valued doubles, so total() reproduces the machine's
+    // bucket sum exactly.
+    Attribution a;
+    a.cold_code = bucketCycles(st, Bucket::Cold) -
+                  misalignIn(m, Bucket::Cold);
+    a.hot_code =
+        bucketCycles(st, Bucket::Hot) - misalignIn(m, Bucket::Hot);
+    a.btgeneric = bucketCycles(st, Bucket::Overhead) -
+                  misalignIn(m, Bucket::Overhead) - fault_overhead;
+    a.native = bucketCycles(st, Bucket::Native) -
+               misalignIn(m, Bucket::Native);
+    a.idle =
+        bucketCycles(st, Bucket::Idle) - misalignIn(m, Bucket::Idle);
+    double misalign_total = 0;
+    for (double c : m.misalignCycles())
+        misalign_total += c;
+    a.fault_handling = misalign_total + fault_overhead;
+    return a;
+}
+
+std::string
+runReportJson(Runtime &rt, const std::string &workload)
+{
+    ipf::Machine &m = rt.machine();
+    const ipf::BucketStats &st = m.stats();
+    Attribution a = attributionOf(rt);
+
+    json::Writer w;
+    w.beginObject();
+    w.kv("workload", workload);
+    w.kv("cycles", m.totalCycles());
+    w.kv("retired_ipf_insns", m.retired());
+    w.kv("misaligned_accesses", m.misalignedAccesses());
+
+    w.key("attribution");
+    w.beginObject();
+    w.kv("cold_code", a.cold_code);
+    w.kv("hot_code", a.hot_code);
+    w.kv("btgeneric", a.btgeneric);
+    w.kv("fault_handling", a.fault_handling);
+    w.kv("native", a.native);
+    w.kv("idle", a.idle);
+    w.kv("total", a.total());
+    w.endObject();
+
+    w.key("buckets");
+    w.beginObject();
+    static const char *bucket_names[] = {"hot", "cold", "overhead",
+                                         "native", "idle"};
+    for (size_t b = 0;
+         b < static_cast<size_t>(Bucket::NumBuckets); ++b) {
+        w.key(bucket_names[b]);
+        w.beginObject();
+        w.kv("cycles", st.cycles[b]);
+        w.kv("insns", st.insns[b]);
+        w.endObject();
+    }
+    w.endObject();
+
+    // One merged counter namespace (translator + runtime counters are
+    // disjoint today; merging keeps the JSON free of duplicate keys if
+    // that ever changes).
+    StatGroup all_stats = rt.translator().stats;
+    all_stats.merge(rt.stats());
+    w.key("stats");
+    w.beginObject();
+    for (const auto &[name, value] : all_stats.all())
+        w.kv(name, value);
+    w.endObject();
+
+    if (m.trackBlockCycles()) {
+        w.key("blocks");
+        w.beginArray();
+        for (const auto &[id, cost] : m.blockCosts()) {
+            w.beginObject();
+            w.kv("id", id);
+            const BlockInfo *bi = rt.translator().blockById(id);
+            if (bi) {
+                w.kv("eip", static_cast<uint64_t>(bi->entry_eip));
+                w.kv("kind",
+                     bi->kind == BlockKind::Hot ? "hot" : "cold");
+            } else {
+                // id -1: runtime-emitted stub code with no block.
+                w.kv("kind", "runtime");
+            }
+            w.kv("cycles", cost.cycles);
+            w.kv("insns", cost.insns);
+            w.endObject();
+        }
+        w.endArray();
+    }
+
+    w.endObject();
+    return w.str() + "\n";
+}
+
+bool
+writeRunReport(Runtime &rt, const std::string &workload,
+               const std::string &path)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << runReportJson(rt, workload);
+    return static_cast<bool>(f);
+}
+
+} // namespace el::core

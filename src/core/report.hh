@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Machine-readable run reports: cycle attribution in the paper's
+ * Figure 6 categories, per-block cycle rows, and the full counter set,
+ * serialized as JSON.
+ *
+ * The attribution buckets the machine's per-bucket cycle totals into
+ * the categories Figure 6 plots — time in cold code, time in hot code,
+ * time in BTGeneric (the runtime), and fault + misalignment handling —
+ * plus the native/idle time Figures 7 and 8 need. Every simulated cycle
+ * lands in exactly one category, and all cycle values are
+ * integer-valued doubles, so the categories sum to the machine's total
+ * cycle count *exactly* (bit-identical, not approximately).
+ */
+
+#ifndef EL_CORE_REPORT_HH
+#define EL_CORE_REPORT_HH
+
+#include <string>
+
+namespace el::core
+{
+
+class Runtime;
+
+/** Simulated cycles bucketed into the paper's Figure 6 categories. */
+struct Attribution
+{
+    double cold_code = 0;      //!< Executing cold translations.
+    double hot_code = 0;       //!< Executing hot traces.
+    double btgeneric = 0;      //!< BTGeneric: translation + dispatch.
+    double fault_handling = 0; //!< Misalignment penalties + guard repair.
+    double native = 0;         //!< Kernel/native time (Figure 7).
+    double idle = 0;           //!< Idle time (Figure 7).
+
+    /** Exact sum of the categories (== Machine::totalCycles()). */
+    double
+    total() const
+    {
+        return cold_code + hot_code + btgeneric + fault_handling +
+               native + idle;
+    }
+};
+
+/** Compute the attribution for a finished (or paused) runtime. */
+Attribution attributionOf(Runtime &rt);
+
+/**
+ * The full run report as a JSON object string: workload name, totals,
+ * the attribution, every translator/runtime counter, and — when
+ * Options::collect_block_cycles was set — one row per translation
+ * block with its simulated cycles and retired instructions.
+ */
+std::string runReportJson(Runtime &rt, const std::string &workload);
+
+/** Write runReportJson() to @p path; false on I/O failure. */
+bool writeRunReport(Runtime &rt, const std::string &workload,
+                    const std::string &path);
+
+} // namespace el::core
+
+#endif // EL_CORE_REPORT_HH

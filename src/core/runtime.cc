@@ -7,6 +7,7 @@
 #include "ipf/regs.hh"
 #include "support/bitfield.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace el::core
 {
@@ -42,6 +43,25 @@ Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
     translator_ =
         std::make_unique<Translator>(options_, mem_, cache_, rt_base_);
 
+    trace_ = options_.trace;
+    if (options_.collect_block_cycles)
+        machine_->setTrackBlockCycles(true);
+    if (trace_) {
+        translator_->setTrace(
+            trace_, [this] { return machine_->totalCycles(); });
+        if (FaultInjector *fi = inject_scope_.get()) {
+            // Main-thread fires only; worker-side injection is traced
+            // by the pipeline session wrapper below with the session's
+            // planned simulated timeline.
+            fi->setFireListener([this](FaultSite site) {
+                trace_->instant(
+                    "fault_fire", trace::Cat::Fault, 0,
+                    machine_->totalCycles(),
+                    {{"site", static_cast<int64_t>(site)}});
+            });
+        }
+    }
+
     if (options_.translation_threads > 0 && options_.enable_hot_phase) {
         HotPipeline::Config cfg;
         cfg.threads = options_.translation_threads;
@@ -55,6 +75,31 @@ Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
                 FaultStream stream(fi, c.seq);
                 Translator::runHotSession(c.input, options_, &stream,
                                           out);
+                if (trace_) {
+                    // Worker lane events carry the *planned* simulated
+                    // times from the candidate — workers must never
+                    // read the machine's cycle counter (it belongs to
+                    // the main thread), and the plan is what makes the
+                    // trace replayable across thread counts.
+                    uint32_t lane = 1 + c.worker_slot;
+                    if (out->injected_abort)
+                        trace_->instant(
+                            "fault_fire", trace::Cat::Fault, lane,
+                            c.start_cycles,
+                            {{"site",
+                              static_cast<int64_t>(
+                                  FaultSite::HotXlateAbort)},
+                             {"seq", static_cast<int64_t>(c.seq)}});
+                    trace_->span(
+                        "hot_emit", trace::Cat::Hot, lane,
+                        c.start_cycles, c.ready_cycles - c.start_cycles,
+                        {{"eip",
+                          static_cast<int64_t>(c.input.entry_eip)},
+                         {"seq", static_cast<int64_t>(c.seq)},
+                         {"worker",
+                          static_cast<int64_t>(c.worker_slot)},
+                         {"ok", out->ok ? 1 : 0}});
+                }
             });
     }
 }
@@ -308,6 +353,12 @@ Runtime::recoverGuard(BlockInfo *block, int64_t payload_kind)
 {
     machine_->chargeCycles(Bucket::Overhead,
                            options_.guard_recovery_cost);
+    fault_overhead_cycles_ += options_.guard_recovery_cost;
+    if (trace_)
+        trace_->span("guard_recover", trace::Cat::Fault, 0,
+                     machine_->totalCycles(),
+                     options_.guard_recovery_cost,
+                     {{"block", block->id}, {"kind", payload_kind}});
     ipf::Machine &m = *machine_;
     switch (payload_kind) {
       case 0: // TOS mismatch: resolved by block-variant dispatch.
@@ -418,6 +469,14 @@ Runtime::registerHot(int32_t block_id)
                 // its bounded-retry failure path) resolves this block.
     block->heat_registrations++;
     stats_.add("hot.registrations");
+    if (trace_)
+        trace_->instant(
+            "heat_register", trace::Cat::Hot, 0,
+            machine_->totalCycles(),
+            {{"block", block_id},
+             {"eip", static_cast<int64_t>(block->entry_eip)},
+             {"registrations",
+              static_cast<int64_t>(block->heat_registrations)}});
     // O(1) dedup: the queued flag replaces the old linear scan over
     // hot_queue_.
     if (!block->hot_queued) {
@@ -494,9 +553,18 @@ Runtime::enqueueHot(BlockInfo *cand, const SpecContext &spec)
     translator_->disableHeat(cand);
     translator_->unlinkBlockExits(cand);
 
-    hot_pipeline_->enqueue(std::move(c), machine_->totalCycles(),
-                           session_cost);
+    int32_t cand_id = cand->id;
+    uint32_t cand_eip = cand->entry_eip;
+    double now = machine_->totalCycles();
+    uint64_t seq = hot_pipeline_->enqueue(std::move(c), now,
+                                          session_cost);
     stats_.add("hot.enqueued");
+    if (trace_)
+        trace_->span("hot_snapshot", trace::Cat::Hot, 0, now,
+                     options_.hot_enqueue_cost,
+                     {{"eip", static_cast<int64_t>(cand_eip)},
+                      {"block", cand_id},
+                      {"seq", static_cast<int64_t>(seq)}});
 }
 
 void
@@ -515,9 +583,28 @@ Runtime::adoptHotResults()
             stats_.add("hot.adopted");
             // Publication (relocation + linking) is the only part the
             // guest waits for.
-            translator_->chargeHotStall(
-                options_.hot_publish_cost_per_insn *
-                (hot->insn_count + 1));
+            double publish_cost = options_.hot_publish_cost_per_insn *
+                                  (hot->insn_count + 1);
+            translator_->chargeHotStall(publish_cost);
+            if (trace_) {
+                double now = machine_->totalCycles();
+                trace_->span(
+                    "hot_commit", trace::Cat::Hot, 0, now,
+                    publish_cost,
+                    {{"eip", static_cast<int64_t>(hot->entry_eip)},
+                     {"block", hot->id},
+                     {"seq", static_cast<int64_t>(art.seq)},
+                     {"worker",
+                      static_cast<int64_t>(art.worker_slot)}});
+                // How long the finished artifact waited for a block
+                // re-entry boundary after its (planned) completion.
+                double stall = now - art.ready_cycles;
+                trace_->instant(
+                    "adoption_stall", trace::Cat::Hot, 0, now,
+                    {{"seq", static_cast<int64_t>(art.seq)},
+                     {"cycles",
+                      static_cast<int64_t>(stall > 0 ? stall : 0)}});
+            }
         } else if (cold && !cold->invalidated &&
                    cold->hot_state == HotState::Eligible) {
             // Failed or discarded session (a stale-generation discard
@@ -723,6 +810,13 @@ Runtime::run(ia32::State &state)
                 cache_.patchToBranchChecked(stop.instr_index, tentry,
                                             gen)) {
                 stats_.add("links.patched");
+                if (trace_)
+                    trace_->instant(
+                        "exit_relink", trace::Cat::Cache, 0,
+                        machine_->totalCycles(),
+                        {{"from_block", instr.meta.block_id},
+                         {"target_eip",
+                          static_cast<int64_t>(target)}});
             }
             next_eip = target;
             break;

@@ -69,6 +69,14 @@ class Runtime
     const Options &options() const { return options_; }
     uint64_t rtBase() const { return rt_base_; }
 
+    /**
+     * Overhead cycles spent repairing faults at runtime (speculation
+     * guard recovery). A subset of the machine's Overhead bucket; the
+     * attribution report moves it into "fault handling" alongside the
+     * misalignment penalties the machine tracks per bucket.
+     */
+    double faultOverheadCycles() const { return fault_overhead_cycles_; }
+
     /** Copy guest architectural state into the machine + runtime area. */
     void loadContext(const ia32::State &state);
 
@@ -145,6 +153,8 @@ class Runtime
     uint64_t rt_base_ = 0;
     StatGroup stats_;
     std::deque<int32_t> hot_queue_;
+    trace::Tracer *trace_ = nullptr; //!< From Options; null = off.
+    double fault_overhead_cycles_ = 0;
 
     // Declared last on purpose: destruction joins the worker threads
     // before anything they reference (translator_, options_, the fault

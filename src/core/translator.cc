@@ -3,6 +3,7 @@
 #include "ia32/decoder.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace el::core
 {
@@ -74,6 +75,11 @@ Translator::flushCodeCache()
     pending_cycles_ += options.cache_flush_cost;
     stats.add("recover.cache_flush");
     stats.set("cache.generation", cache_.generation());
+    if (trace_)
+        trace_->span("cache_flush", trace::Cat::Cache, 0, trace_now_(),
+                     options.cache_flush_cost,
+                     {{"generation",
+                       static_cast<int64_t>(cache_.generation())}});
 }
 
 void
@@ -192,6 +198,11 @@ Translator::unlinkBlockExits(BlockInfo *block)
         in.target = -1;
         s.patched = false;
     }
+    if (trace_)
+        trace_->instant("exit_unlink", trace::Cat::Cache, 0, trace_now_(),
+                        {{"block", block->id},
+                         {"eip",
+                          static_cast<int64_t>(block->entry_eip)}});
 }
 
 void
@@ -218,6 +229,7 @@ Translator::discardHotBlock(BlockInfo *block)
 void
 Translator::invalidateRange(uint32_t addr, uint32_t len)
 {
+    int64_t dropped = 0;
     for (auto &bp : blocks_) {
         BlockInfo &b = *bp;
         if (b.invalidated)
@@ -228,9 +240,16 @@ Translator::invalidateRange(uint32_t addr, uint32_t len)
             b.invalidated = true;
             cache_.invalidateEntry(b.cache_entry, ExitReason::Resync,
                                    b.entry_eip);
+            ++dropped;
         }
     }
     stats.add("smc.invalidations");
+    if (trace_)
+        trace_->instant("smc_invalidate", trace::Cat::Cache, 0,
+                        trace_now_(),
+                        {{"addr", static_cast<int64_t>(addr)},
+                         {"len", static_cast<int64_t>(len)},
+                         {"blocks_dropped", dropped}});
 }
 
 BlockInfo *
@@ -604,8 +623,16 @@ Translator::translateColdImpl(uint32_t eip, const SpecContext &spec,
     stats.add("xlate.cold_blocks");
     stats.add("xlate.cold_insns", info->insn_count);
     stats.add("fxch.emitted", fxch_emitted);
-    pending_cycles_ +=
+    double xlate_cost =
         options.cold_xlate_cost_per_insn * (info->insn_count + 1);
+    pending_cycles_ += xlate_cost;
+    if (trace_)
+        trace_->span("cold_translate", trace::Cat::Translate, 0,
+                     trace_now_(), xlate_cost,
+                     {{"eip", static_cast<int64_t>(eip)},
+                      {"block", info->id},
+                      {"insns",
+                       static_cast<int64_t>(info->insn_count)}});
 
     cold_map_[eip].push_back({spec, info});
     blocks_.push_back(std::move(info_holder));
@@ -838,7 +865,7 @@ Translator::runHotSession(const HotSessionInput &in,
             Il br = env.mk(IpfOp::Br);
             br.target_il = 0; // body start (post-guard)
             env.emit(br);
-            out->stat_loopback_edges = 1;
+            out->stats.add("hot.loopback_edges");
         } else {
             uint32_t next = trace.back().insns.empty()
                 ? trace.back().start
@@ -856,16 +883,16 @@ Translator::runHotSession(const HotSessionInput &in,
 
     SchedTally tally;
     if (!finishInto(env, info, out->staging, options, true, &tally)) {
-        out->stat_sched_failures = 1;
+        out->stats.add("sched.failures");
         return;
     }
 
-    out->stat_groups = tally.groups;
-    out->stat_dead_removed = tally.dead_removed;
-    out->stat_loads_speculated = tally.loads_speculated;
-    out->stat_fxch_eliminated = env.fxch_eliminated;
-    out->stat_trace_blocks =
-        static_cast<uint32_t>(trace.size()) * in.copies;
+    out->stats.add("sched.groups", tally.groups);
+    out->stats.add("sched.dead_removed", tally.dead_removed);
+    out->stats.add("sched.loads_speculated", tally.loads_speculated);
+    out->stats.add("fxch.eliminated", env.fxch_eliminated);
+    out->stats.add("xlate.hot_trace_blocks",
+                   static_cast<uint64_t>(trace.size()) * in.copies);
     out->ok = true;
 }
 
@@ -877,10 +904,9 @@ Translator::commitHotArtifact(HotArtifact &art)
             stats.add("hot.aborts_injected");
         else
             stats.add("hot.aborted");
-        if (art.stat_sched_failures)
-            stats.add("sched.failures", art.stat_sched_failures);
-        if (art.stat_loopback_edges)
-            stats.add("hot.loopback_edges", art.stat_loopback_edges);
+        // A failed session still carries partial counters (e.g. the
+        // sched.failures that killed it).
+        stats.merge(art.stats);
         return nullptr;
     }
 
@@ -921,14 +947,12 @@ Translator::commitHotArtifact(HotArtifact &art)
 
     stats.add("xlate.hot_blocks");
     stats.add("xlate.hot_insns", info->insn_count);
-    stats.add("xlate.hot_trace_blocks", art.stat_trace_blocks);
-    stats.add("fxch.eliminated", art.stat_fxch_eliminated);
     stats.add("hot.commit_points", info->recovery.size());
-    if (art.stat_loopback_edges)
-        stats.add("hot.loopback_edges", art.stat_loopback_edges);
-    stats.add("sched.groups", art.stat_groups);
-    stats.add("sched.dead_removed", art.stat_dead_removed);
-    stats.add("sched.loads_speculated", art.stat_loads_speculated);
+    // Session-side counters (sched.*, fxch.eliminated,
+    // xlate.hot_trace_blocks, hot.loopback_edges) were accumulated into
+    // the artifact's private group on the worker; fold them in here, on
+    // the main thread, so the shared group is never written by workers.
+    stats.merge(art.stats);
     stats.add("xlate.hot_ipf_insns", info->cache_end - info->cache_entry);
 
     hot_map_[info->entry_eip].push_back({art.spec, info});
@@ -1000,6 +1024,22 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
             options.hot_xlate_cost_per_insn * (info->insn_count + 1);
         pending_cycles_ += cost;
         pending_hot_stall_ += cost;
+        if (trace_) {
+            // Inline session: snapshot/emit/commit all happen on the
+            // guest lane, back to back on the simulated timeline.
+            double t0 = trace_now_();
+            int64_t eip = static_cast<int64_t>(entry_eip);
+            trace_->span("hot_snapshot", trace::Cat::Hot, 0, t0, 0,
+                         {{"eip", eip}, {"block", info->id}});
+            trace_->span("hot_emit", trace::Cat::Hot, 0, t0, cost,
+                         {{"eip", eip}, {"block", info->id}});
+            // ts stays at t0 (not t0+cost): the stall cycles are only
+            // charged to the machine after this service returns, so a
+            // future timestamp could precede the next event on lane 0
+            // and break per-lane monotonicity.
+            trace_->span("hot_commit", trace::Cat::Hot, 0, t0, 0,
+                         {{"eip", eip}, {"block", info->id}});
+        }
     }
     return info;
 }

@@ -10,6 +10,7 @@
 #define EL_CORE_TRANSLATOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -24,6 +25,11 @@
 #include "mem/memory.hh"
 #include "support/faultinject.hh"
 #include "support/stats.hh"
+
+namespace el::trace
+{
+class Tracer;
+} // namespace el::trace
 
 namespace el::core
 {
@@ -173,6 +179,19 @@ class Translator
     /** Translation statistics. */
     StatGroup stats;
 
+    /**
+     * Attach a lifecycle tracer. @p now supplies the simulated
+     * timestamp for events the translator records (the Runtime passes
+     * the machine's cycle counter). Main-thread only — the static
+     * session path never touches the tracer.
+     */
+    void
+    setTrace(trace::Tracer *tracer, std::function<double()> now)
+    {
+        trace_ = tracer;
+        trace_now_ = std::move(now);
+    }
+
     /** Simulated translator cycles spent so far (charged by Runtime). */
     double pendingOverheadCycles() const { return pending_cycles_; }
     double
@@ -277,6 +296,9 @@ class Translator
     double pending_cycles_ = 0;
     double pending_hot_stall_ = 0;
     bool injected_abort_ = false;
+
+    trace::Tracer *trace_ = nullptr;  //!< Null = tracing off.
+    std::function<double()> trace_now_; //!< Simulated-time source.
 };
 
 } // namespace el::core

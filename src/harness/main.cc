@@ -1,0 +1,221 @@
+/**
+ * @file
+ * `el_run`: the command-line front end of the execution harness.
+ *
+ * Runs one synthetic workload personality under the IA-32 EL runtime
+ * with the observability layer wired up: `--trace-out` captures the
+ * translation-lifecycle trace as Chrome trace-event JSON (loadable in
+ * chrome://tracing or ui.perfetto.dev) and `--report-json` writes the
+ * machine-readable run report with Figure-6 cycle attribution and
+ * per-block cycle rows. `--validate-trace` re-reads a trace file and
+ * checks it against the Chrome trace-event shape (used by CI so the
+ * artifact upload never ships a malformed file).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "guest/workloads.hh"
+#include "harness/exec.hh"
+#include "support/trace.hh"
+
+namespace
+{
+
+using namespace el;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: el_run [options]\n"
+        "  --workload=<name>      personality to run (default: gzip)\n"
+        "  --list                 list known workloads and exit\n"
+        "  --threads=<n>          hot-translation worker threads\n"
+        "  --deterministic        deterministic pipeline adoption\n"
+        "  --heat-threshold=<n>   block-use count registering hot\n"
+        "  --hot-batch=<n>        candidates batched per session\n"
+        "  --cache-capacity=<n>   bound the code cache (0 = unbounded)\n"
+        "  --fault=<site>:<p>     fire <site> with p/1024 probability\n"
+        "                         (sites: btos_alloc, cold_xlate_abort,\n"
+        "                         hot_xlate_abort, cache_exhaust,\n"
+        "                         guest_fault_storm)\n"
+        "  --fault-seed=<n>       fault-injection PRNG seed\n"
+        "  --trace-out=<file>     write Chrome trace-event JSON\n"
+        "  --report-json=<file>   write the machine-readable run report\n"
+        "  --validate-trace=<f>   validate a trace file and exit\n");
+}
+
+std::vector<guest::Workload>
+allWorkloads()
+{
+    std::vector<guest::Workload> all = guest::specIntSuite();
+    for (auto &w : guest::specFpSuite())
+        all.push_back(std::move(w));
+    for (auto &w : guest::sysmarkSuite())
+        all.push_back(std::move(w));
+    return all;
+}
+
+bool
+parseFaultSite(const std::string &name, FaultSite *out)
+{
+    for (size_t s = 0; s < num_fault_sites; ++s) {
+        FaultSite site = static_cast<FaultSite>(s);
+        if (name == faultSiteName(site)) {
+            *out = site;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+validateTraceFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        std::fprintf(stderr, "el_run: cannot read %s\n", path.c_str());
+        return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    std::string error;
+    if (!trace::validateChromeTrace(ss.str(), &error)) {
+        std::fprintf(stderr, "el_run: %s: invalid trace: %s\n",
+                     path.c_str(), error.c_str());
+        return 2;
+    }
+    std::printf("%s: valid Chrome trace\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name = "gzip";
+    std::string trace_out, report_json;
+    core::Options options;
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = value("--workload=")) {
+            workload_name = v;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (const char *v = value("--threads=")) {
+            options.translation_threads =
+                static_cast<uint32_t>(std::atoi(v));
+        } else if (arg == "--deterministic") {
+            options.deterministic_adoption = true;
+        } else if (const char *v = value("--heat-threshold=")) {
+            options.heat_threshold =
+                static_cast<uint32_t>(std::atoi(v));
+        } else if (const char *v = value("--hot-batch=")) {
+            options.hot_batch = static_cast<uint32_t>(std::atoi(v));
+        } else if (const char *v = value("--cache-capacity=")) {
+            options.code_cache_capacity =
+                static_cast<uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--fault=")) {
+            std::string spec = v;
+            size_t colon = spec.rfind(':');
+            FaultSite site;
+            if (colon == std::string::npos ||
+                !parseFaultSite(spec.substr(0, colon), &site)) {
+                std::fprintf(stderr, "el_run: bad --fault spec '%s'\n",
+                             v);
+                return 1;
+            }
+            options.fault.site(
+                site, static_cast<uint16_t>(
+                          std::atoi(spec.c_str() + colon + 1)));
+        } else if (const char *v = value("--fault-seed=")) {
+            options.fault.seed = static_cast<uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--trace-out=")) {
+            trace_out = v;
+        } else if (const char *v = value("--report-json=")) {
+            report_json = v;
+        } else if (const char *v = value("--validate-trace=")) {
+            return validateTraceFile(v);
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    std::vector<guest::Workload> suite = allWorkloads();
+    if (list) {
+        for (const guest::Workload &w : suite)
+            std::printf("%-12s (%s, %s)\n", w.name.c_str(),
+                        w.kernel.c_str(),
+                        w.params.abi == btlib::OsAbi::Windows
+                            ? "windows"
+                            : "linux");
+        return 0;
+    }
+
+    const guest::Workload *wl = nullptr;
+    for (const guest::Workload &w : suite)
+        if (w.name == workload_name)
+            wl = &w;
+    if (!wl) {
+        std::fprintf(stderr,
+                     "el_run: unknown workload '%s' (--list shows "
+                     "the suite)\n",
+                     workload_name.c_str());
+        return 1;
+    }
+
+    trace::Tracer tracer;
+    if (!trace_out.empty())
+        options.trace = &tracer;
+    if (!report_json.empty())
+        options.collect_block_cycles = true;
+
+    harness::TranslatedRun run =
+        harness::runTranslated(wl->image, wl->params.abi, options);
+
+    if (!trace_out.empty()) {
+        if (!tracer.writeChromeJson(trace_out)) {
+            std::fprintf(stderr, "el_run: cannot write %s\n",
+                         trace_out.c_str());
+            return 2;
+        }
+        std::printf("trace:  %s (%zu events, %llu dropped)\n",
+                    trace_out.c_str(), tracer.snapshot().size(),
+                    static_cast<unsigned long long>(tracer.dropped()));
+    }
+    if (!report_json.empty()) {
+        if (!core::writeRunReport(*run.runtime, wl->name,
+                                  report_json)) {
+            std::fprintf(stderr, "el_run: cannot write %s\n",
+                         report_json.c_str());
+            return 2;
+        }
+        std::printf("report: %s\n", report_json.c_str());
+    }
+
+    core::Attribution attr = core::attributionOf(*run.runtime);
+    std::printf("%s: exit=%d cycles=%.0f\n", wl->name.c_str(),
+                run.outcome.exit_code, run.outcome.cycles);
+    std::printf("  cold=%.0f hot=%.0f btgeneric=%.0f fault=%.0f "
+                "native=%.0f idle=%.0f\n",
+                attr.cold_code, attr.hot_code, attr.btgeneric,
+                attr.fault_handling, attr.native, attr.idle);
+    return run.outcome.exited ? 0 : 3;
+}

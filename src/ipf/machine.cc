@@ -198,10 +198,18 @@ Machine::closeGroup()
     double cost = width + grp_stall_ + grp_extra_;
     cycle_ += cost;
     stats_.cycles[static_cast<size_t>(grp_bucket_)] += cost;
+    misalign_cycles_[static_cast<size_t>(grp_bucket_)] += grp_misalign_;
+    if (track_blocks_) {
+        BlockCost &bc = block_costs_[grp_block_];
+        bc.cycles += cost;
+        bc.insns += grp_insns_;
+    }
 
     grp_m_ = grp_i_ = grp_f_ = grp_b_ = grp_a_ = grp_total_ = 0;
+    grp_insns_ = 0;
     grp_stall_ = 0.0;
     grp_extra_ = 0.0;
+    grp_misalign_ = 0.0;
     grp_open_ = false;
     if (cfg_.verify_groups) {
         grp_gr_writer_.fill(0);
@@ -215,7 +223,9 @@ Machine::accountInstr(const Instr &i)
     if (!grp_open_) {
         grp_open_ = true;
         grp_bucket_ = i.meta.bucket;
+        grp_block_ = i.meta.block_id;
     }
+    ++grp_insns_;
     switch (i.slotKind()) {
       case Slot::M:
         ++grp_m_;
@@ -606,6 +616,7 @@ Machine::execute(const Instr &i, StopInfo *stop)
         if (!isAligned(addr, i.size)) {
             ++misaligned_;
             grp_extra_ += cfg_.misalign_penalty;
+            grp_misalign_ += cfg_.misalign_penalty;
         }
         set_gr(i.dst, v, false, lat);
         if (i.imm != 0) // post-increment
@@ -629,6 +640,7 @@ Machine::execute(const Instr &i, StopInfo *stop)
         if (!isAligned(addr, i.size)) {
             ++misaligned_;
             grp_extra_ += cfg_.misalign_penalty;
+            grp_misalign_ += cfg_.misalign_penalty;
         }
         if (i.imm != 0)
             set_gr(i.src1, addr + static_cast<uint64_t>(i.imm), false,
@@ -666,6 +678,7 @@ Machine::execute(const Instr &i, StopInfo *stop)
         if (!isAligned(addr, bytes == 10 ? 16 : bytes)) {
             ++misaligned_;
             grp_extra_ += cfg_.misalign_penalty;
+            grp_misalign_ += cfg_.misalign_penalty;
         }
         Fr &f = frs_[i.dst];
         if (i.size == 4) {
@@ -722,6 +735,7 @@ Machine::execute(const Instr &i, StopInfo *stop)
         if (!isAligned(addr, bytes == 10 ? 16 : bytes)) {
             ++misaligned_;
             grp_extra_ += cfg_.misalign_penalty;
+            grp_misalign_ += cfg_.misalign_penalty;
         }
         if (i.imm != 0)
             set_gr(i.src1, addr + static_cast<uint64_t>(i.imm), false,

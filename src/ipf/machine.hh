@@ -30,6 +30,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <map>
 
 #include "ipf/code_cache.hh"
 #include "ipf/regs.hh"
@@ -138,6 +139,13 @@ struct BucketStats
     }
 };
 
+/** Per-translation-block cycle/slot accounting (gated; observability). */
+struct BlockCost
+{
+    double cycles = 0.0;  //!< Simulated cycles attributed to the block.
+    uint64_t insns = 0;   //!< Instructions retired inside the block.
+};
+
 /** The IPF machine. */
 class Machine
 {
@@ -175,6 +183,32 @@ class Machine
     uint64_t retired() const { return retired_; }
     uint64_t misalignedAccesses() const { return misaligned_; }
     mem::CacheModel &dcache() { return dcache_; }
+
+    /**
+     * Misalignment-penalty cycles folded into each bucket's total. A
+     * subset of stats().cycles — subtracting it yields the "useful"
+     * execution time per bucket, which the attribution report needs to
+     * separate fault handling from cold/hot code time.
+     */
+    const std::array<double, static_cast<size_t>(Bucket::NumBuckets)> &
+    misalignCycles() const
+    {
+        return misalign_cycles_;
+    }
+
+    /**
+     * Enable per-translation-block cycle accounting. Off by default:
+     * the map update in closeGroup() is measurable on hot loops, so the
+     * runtime only turns it on when a run report was requested.
+     */
+    void setTrackBlockCycles(bool on) { track_blocks_ = on; }
+    bool trackBlockCycles() const { return track_blocks_; }
+
+    /** Per-block costs keyed by translation block id (see InstrMeta). */
+    const std::map<int32_t, BlockCost> &blockCosts() const
+    {
+        return block_costs_;
+    }
 
     /** Charge synthetic cycles (translator overhead, native time, idle). */
     void
@@ -221,13 +255,20 @@ class Machine
     unsigned grp_total_ = 0;
     double grp_stall_ = 0.0;
     double grp_extra_ = 0.0; //!< memory/branch penalties inside the group
+    double grp_misalign_ = 0.0; //!< misalign share of grp_extra_
+    unsigned grp_insns_ = 0;    //!< instructions in the current group
     Bucket grp_bucket_ = Bucket::Cold;
+    int32_t grp_block_ = -1; //!< block id the current group belongs to
     bool grp_open_ = false;
+    bool track_blocks_ = false;
     // Group verification (debug).
     std::array<int8_t, num_grs> grp_gr_writer_{};
     std::array<int8_t, num_frs> grp_fr_writer_{};
 
     BucketStats stats_;
+    std::array<double, static_cast<size_t>(Bucket::NumBuckets)>
+        misalign_cycles_{};
+    std::map<int32_t, BlockCost> block_costs_;
     uint64_t retired_ = 0;
     uint64_t misaligned_ = 0;
 };

@@ -42,6 +42,8 @@ FaultInjector::shouldFire(FaultSite site)
         return false;
     fires_[static_cast<std::size_t>(site)].fetch_add(1);
     total_fires_.fetch_add(1);
+    if (listener_)
+        listener_(site);
     return true;
 }
 

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "support/random.hh"
 
@@ -101,6 +102,7 @@ class FaultInjector
     {
         cfg_ = o.cfg_;
         rng_ = o.rng_;
+        listener_ = o.listener_;
         for (std::size_t i = 0; i < num_fault_sites; ++i)
             fires_[i].store(o.fires_[i].load());
         total_fires_.store(o.total_fires_.load());
@@ -111,6 +113,19 @@ class FaultInjector
     /** Roll the dice for @p site; true means the caller must fail.
      *  Main-thread only (advances the primary PRNG stream). */
     bool shouldFire(FaultSite site);
+
+    /**
+     * Observer invoked on every main-thread fire (shouldFire() only —
+     * worker-side FaultStream fires are not funneled through it, since
+     * the listener is not required to be thread-safe; the pipeline
+     * records those itself with the session's simulated timeline). The
+     * observability layer uses this to trace every injected fault.
+     */
+    void
+    setFireListener(std::function<void(FaultSite)> listener)
+    {
+        listener_ = std::move(listener);
+    }
 
     /** Deterministic uniform pick in [0, n); used for storm kinds. */
     uint64_t pick(uint64_t n) { return rng_.range(n); }
@@ -148,6 +163,7 @@ class FaultInjector
   private:
     FaultConfig cfg_;
     Rng rng_;
+    std::function<void(FaultSite)> listener_; //!< Main-thread fires only.
     std::array<std::atomic<uint64_t>, num_fault_sites> fires_{};
     std::atomic<uint64_t> total_fires_{0};
     std::atomic<uint64_t> total_consults_{0};

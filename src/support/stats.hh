@@ -50,6 +50,18 @@ class StatGroup
                  : 0.0;
     }
 
+    /**
+     * Fold another group's counters into this one (summing). Used to
+     * merge per-session/per-worker groups into the shared group on the
+     * owning thread, so workers never touch shared counters.
+     */
+    void
+    merge(const StatGroup &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
     /** Reset all counters to zero. */
     void clear() { counters_.clear(); }
 
@@ -69,11 +81,14 @@ class Histogram
   public:
     /**
      * @param lo Lowest bucket start.
-     * @param bucket_width Width of each bucket.
+     * @param bucket_width Width of each bucket; values <= 0 are clamped
+     *        to 1 (a non-positive width would divide by zero in
+     *        sample()).
      * @param n_buckets Number of buckets; samples above go to overflow.
      */
     Histogram(int64_t lo, int64_t bucket_width, unsigned n_buckets)
-        : lo_(lo), width_(bucket_width), buckets_(n_buckets, 0)
+        : lo_(lo), width_(bucket_width > 0 ? bucket_width : 1),
+          buckets_(n_buckets, 0)
     {}
 
     void sample(int64_t value, uint64_t count = 1);
@@ -82,9 +97,21 @@ class Histogram
     uint64_t underflow() const { return underflow_; }
     uint64_t overflow() const { return overflow_; }
     const std::vector<uint64_t> &buckets() const { return buckets_; }
+    int64_t bucketWidth() const { return width_; }
 
     /** Mean of all sampled values. */
     double mean() const;
+
+    /**
+     * Approximate p-th percentile (p in [0, 100]) by linear
+     * interpolation inside the bucket holding the rank. Underflow
+     * samples clamp to lo, overflow samples to the top edge. Returns
+     * lo when the histogram is empty.
+     */
+    double percentile(double p) const;
+
+    /** Text rendering: one "[lo, hi)  count  bar" line per bucket. */
+    std::string dump() const;
 
   private:
     int64_t lo_;

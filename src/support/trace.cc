@@ -1,0 +1,233 @@
+#include "support/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "support/json.hh"
+
+namespace el::trace
+{
+
+const char *
+catName(Cat cat)
+{
+    switch (cat) {
+      case Cat::Translate:
+        return "translate";
+      case Cat::Hot:
+        return "hot";
+      case Cat::Cache:
+        return "cache";
+      case Cat::Fault:
+        return "fault";
+      case Cat::Runtime:
+        return "runtime";
+    }
+    return "?";
+}
+
+uint64_t
+Tracer::nextInstanceId()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::Ring *
+Tracer::threadRing()
+{
+    // Cache the (tracer, ring) pair per thread: the common case is one
+    // tracer per run, so the lookup is two compares. The instance id
+    // guards against address reuse — a new tracer allocated where a
+    // dead one lived must not resurrect the dead tracer's ring.
+    struct Cache
+    {
+        const Tracer *owner = nullptr;
+        uint64_t owner_id = 0;
+        Ring *ring = nullptr;
+    };
+    thread_local Cache cache;
+    if (cache.owner == this && cache.owner_id == instance_id_)
+        return cache.ring;
+
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    rings_.push_back(std::make_unique<Ring>());
+    rings_.back()->events.reserve(std::min<size_t>(ring_capacity_, 1024));
+    cache.owner = this;
+    cache.owner_id = instance_id_;
+    cache.ring = rings_.back().get();
+    return cache.ring;
+}
+
+void
+Tracer::record(const char *name, Cat cat, char ph, uint32_t tid,
+               double ts, double dur, std::initializer_list<Arg> args)
+{
+    Ring *ring = threadRing();
+    std::lock_guard<std::mutex> lk(ring->mu);
+    if (ring->events.size() >= ring_capacity_) {
+        // Bounded buffer: drop the newest event (the earliest part of
+        // the run stays intact) and account for the loss.
+        ring->dropped++;
+        return;
+    }
+    Event e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = ph;
+    e.tid = tid;
+    e.ts = ts;
+    e.dur = dur;
+    e.nargs = 0;
+    for (const Arg &a : args) {
+        if (e.nargs >= max_args)
+            break;
+        e.args[e.nargs++] = a;
+    }
+    ring->events.push_back(e);
+}
+
+std::vector<Event>
+Tracer::snapshot() const
+{
+    std::vector<Event> out;
+    {
+        std::lock_guard<std::mutex> lk(rings_mu_);
+        for (const auto &ring : rings_) {
+            std::lock_guard<std::mutex> rlk(ring->mu);
+            out.insert(out.end(), ring->events.begin(),
+                       ring->events.end());
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.ts != b.ts)
+                             return a.ts < b.ts;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         int c = std::strcmp(a.name, b.name);
+                         if (c != 0)
+                             return c < 0;
+                         int64_t av = a.nargs ? a.args[0].value : 0;
+                         int64_t bv = b.nargs ? b.args[0].value : 0;
+                         return av < bv;
+                     });
+    return out;
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    uint64_t n = 0;
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    for (const auto &ring : rings_) {
+        std::lock_guard<std::mutex> rlk(ring->mu);
+        n += ring->dropped;
+    }
+    return n;
+}
+
+std::string
+Tracer::chromeJson() const
+{
+    json::Writer w;
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (const Event &e : snapshot()) {
+        w.beginObject();
+        w.kv("name", e.name);
+        w.kv("cat", catName(e.cat));
+        w.key("ph");
+        w.str(std::string(1, e.ph));
+        w.kv("ts", e.ts);
+        if (e.ph == 'X')
+            w.kv("dur", e.dur);
+        w.kv("pid", 1);
+        w.kv("tid", static_cast<uint64_t>(e.tid));
+        if (e.ph == 'i')
+            w.kv("s", "t"); // instant scope: thread
+        w.key("args");
+        w.beginObject();
+        for (unsigned k = 0; k < e.nargs; ++k)
+            w.kv(e.args[k].key, e.args[k].value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.kv("displayTimeUnit", "ms");
+    w.kv("droppedEvents", dropped());
+    w.endObject();
+    return w.str();
+}
+
+bool
+Tracer::writeChromeJson(const std::string &path) const
+{
+    std::string text = chromeJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = (n == text.size()) && std::fclose(f) == 0;
+    if (n != text.size())
+        std::fclose(f);
+    return ok;
+}
+
+bool
+validateChromeTrace(const std::string &json_text, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    json::Value root;
+    std::string perr;
+    if (!json::Parser::parse(json_text, &root, &perr))
+        return fail("malformed JSON: " + perr);
+    if (!root.isObject())
+        return fail("top level is not an object");
+    const json::Value *events = root.find("traceEvents");
+    if (!events || !events->isArray())
+        return fail("missing traceEvents array");
+
+    std::map<uint64_t, double> last_ts; // per-tid monotonicity
+    size_t idx = 0;
+    for (const json::Value &e : events->arr) {
+        if (!e.isObject())
+            return fail(strfmt("event %zu is not an object", idx));
+        const json::Value *name = e.find("name");
+        const json::Value *ph = e.find("ph");
+        const json::Value *ts = e.find("ts");
+        const json::Value *tid = e.find("tid");
+        if (!name || !name->isString() || name->str.empty())
+            return fail(strfmt("event %zu lacks a name", idx));
+        if (!ph || !ph->isString() ||
+            (ph->str != "X" && ph->str != "i"))
+            return fail(strfmt("event %zu has bad ph", idx));
+        if (!ts || !ts->isNumber() || !tid || !tid->isNumber())
+            return fail(strfmt("event %zu lacks ts/tid", idx));
+        if (ph->str == "X") {
+            const json::Value *dur = e.find("dur");
+            if (!dur || !dur->isNumber() || dur->num < 0)
+                return fail(strfmt("span %zu has bad dur", idx));
+        }
+        uint64_t t = static_cast<uint64_t>(tid->num);
+        auto it = last_ts.find(t);
+        if (it != last_ts.end() && ts->num < it->second)
+            return fail(strfmt("ts not monotonic on tid %llu at "
+                               "event %zu",
+                               static_cast<unsigned long long>(t), idx));
+        last_ts[t] = ts->num;
+        ++idx;
+    }
+    return true;
+}
+
+} // namespace el::trace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Translation-lifecycle event tracer.
+ *
+ * A low-overhead, thread-safe recorder of spans and instant events on
+ * the *simulated* timeline: timestamps are simulated cycles, and the
+ * "thread" of an event is a logical lane — lane 0 is the guest/runtime
+ * thread, lane 1+k is simulated hot-pipeline worker slot k. Because
+ * both timestamps and lanes come from the simulation (never from
+ * wall-clock or host thread identity), a deterministic run produces a
+ * bit-identical trace regardless of real worker scheduling.
+ *
+ * Recording is per-thread: each host thread appends into its own ring
+ * buffer (bounded; overflow drops the newest event and counts it), so
+ * pipeline workers never contend with the main thread. Export merges
+ * the rings and sorts by (timestamp, lane) into Chrome trace-event JSON
+ * loadable in chrome://tracing or https://ui.perfetto.dev.
+ *
+ * The disabled path is a single branch per event at every call site:
+ * instrumented code holds a `Tracer *` that is null when tracing is
+ * off, and the simulation never charges cycles for tracing, so cycle
+ * results are bit-identical with tracing on or off.
+ */
+
+#ifndef EL_SUPPORT_TRACE_HH
+#define EL_SUPPORT_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace el::trace
+{
+
+/** Event category (Chrome "cat" field; filterable in the viewer). */
+enum class Cat : uint8_t
+{
+    Translate, //!< Cold translation.
+    Hot,       //!< Hot-phase lifecycle (register/snapshot/emit/commit).
+    Cache,     //!< Code-cache flush/GC, SMC, link/unlink.
+    Fault,     //!< Fault handling + fault injection.
+    Runtime,   //!< Everything else in BTGeneric.
+};
+
+const char *catName(Cat cat);
+
+/** One key/value argument attached to an event. */
+struct Arg
+{
+    const char *key = nullptr; //!< Static string (call sites use literals).
+    int64_t value = 0;
+};
+
+constexpr unsigned max_args = 4;
+
+/** One recorded event. Name/category strings must be static. */
+struct Event
+{
+    const char *name = nullptr;
+    Cat cat = Cat::Runtime;
+    char ph = 'i';    //!< 'X' complete span, 'i' instant.
+    uint32_t tid = 0; //!< Logical lane: 0 = guest, 1+k = worker slot k.
+    double ts = 0;    //!< Simulated cycles at event start.
+    double dur = 0;   //!< Span length in simulated cycles ('X' only).
+    Arg args[max_args];
+    uint8_t nargs = 0;
+};
+
+/** The tracer. One instance per traced run; see file comment. */
+class Tracer
+{
+  public:
+    /** @p ring_capacity Per-thread ring size in events. */
+    explicit Tracer(size_t ring_capacity = 1 << 16)
+        : ring_capacity_(ring_capacity ? ring_capacity : 1)
+    {}
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Record a complete span of @p dur simulated cycles at @p ts. */
+    void
+    span(const char *name, Cat cat, uint32_t tid, double ts, double dur,
+         std::initializer_list<Arg> args = {})
+    {
+        record(name, cat, 'X', tid, ts, dur, args);
+    }
+
+    /** Record an instant event at @p ts. */
+    void
+    instant(const char *name, Cat cat, uint32_t tid, double ts,
+            std::initializer_list<Arg> args = {})
+    {
+        record(name, cat, 'i', tid, ts, 0, args);
+    }
+
+    /**
+     * Merged view of every ring, sorted by (ts, tid, name, first arg) —
+     * a deterministic order for a deterministic event set, independent
+     * of which host thread recorded what when.
+     */
+    std::vector<Event> snapshot() const;
+
+    /** Events dropped on ring overflow, across all rings. */
+    uint64_t dropped() const;
+
+    /** Chrome trace-event JSON (the {"traceEvents": [...]} form). */
+    std::string chromeJson() const;
+
+    /** Write chromeJson() to @p path; false on I/O failure. */
+    bool writeChromeJson(const std::string &path) const;
+
+  private:
+    /** One host thread's bounded event buffer. */
+    struct Ring
+    {
+        mutable std::mutex mu; //!< Owner appends; snapshot() reads.
+        std::vector<Event> events;
+        uint64_t dropped = 0;
+    };
+
+    void record(const char *name, Cat cat, char ph, uint32_t tid,
+                double ts, double dur, std::initializer_list<Arg> args);
+
+    /** The calling thread's ring (created on first use). */
+    Ring *threadRing();
+
+    size_t ring_capacity_;
+    /** Distinguishes this instance from a dead tracer that occupied the
+     *  same address (the per-thread ring cache keys on both). */
+    uint64_t instance_id_ = nextInstanceId();
+    mutable std::mutex rings_mu_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+
+    static uint64_t nextInstanceId();
+};
+
+/**
+ * Validate a Chrome trace-event JSON file: well-formed JSON, a
+ * "traceEvents" array whose entries carry name/ph/ts/tid, and
+ * non-decreasing timestamps within each tid. Returns true when valid;
+ * otherwise fills @p error. Used by `el_run --validate-trace` and CI.
+ */
+bool validateChromeTrace(const std::string &json_text, std::string *error);
+
+} // namespace el::trace
+
+#endif // EL_SUPPORT_TRACE_HH
