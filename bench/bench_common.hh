@@ -108,6 +108,19 @@ class Report
         scalars_.emplace_back(key, value);
     }
 
+    /**
+     * Headline scalar with an explicit regression tolerance for
+     * tools/bench_diff.py: a later run whose value moves against this
+     * one by more than @p tolerance (relative, e.g. 0.15 = 15%) is
+     * flagged when diffed against a committed baseline.
+     */
+    void
+    scalar(const std::string &key, double value, double tolerance)
+    {
+        scalars_.emplace_back(key, value);
+        tolerances_.emplace_back(key, tolerance);
+    }
+
     std::string
     json() const
     {
@@ -119,6 +132,13 @@ class Report
         for (const auto &[k, v] : scalars_)
             w.kv(k, v);
         w.endObject();
+        if (!tolerances_.empty()) {
+            w.key("tolerances");
+            w.beginObject();
+            for (const auto &[k, v] : tolerances_)
+                w.kv(k, v);
+            w.endObject();
+        }
         w.key("rows");
         w.beginArray();
         for (const Row &r : rows_) {
@@ -166,6 +186,7 @@ class Report
   private:
     std::string name_;
     std::vector<std::pair<std::string, double>> scalars_;
+    std::vector<std::pair<std::string, double>> tolerances_;
     std::deque<Row> rows_; // deque: row() references must stay valid
 };
 

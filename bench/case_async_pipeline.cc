@@ -73,7 +73,8 @@ sweep(const guest::Workload &w, bench::Report &rep)
         if (threads == 4 && sync.stall)
             rep.scalar(w.name + "_stall_reduction_t4",
                        1.0 - static_cast<double>(r.stall) /
-                                 static_cast<double>(sync.stall));
+                                 static_cast<double>(sync.stall),
+                       0.25);
         t.addRow({strfmt("%u", threads),
                   strfmt("%llu",
                          static_cast<unsigned long long>(r.stall)),

@@ -82,7 +82,7 @@ main()
         o.cache_headroom = cap >= 2048 ? 768 : 512;
         Run r = runWith(intw, o, rep, strfmt("cap_%zu", cap));
         rep.scalar(strfmt("slowdown_cap_%zu", cap),
-                   r.cycles / unbounded.cycles);
+                   r.cycles / unbounded.cycles, 0.20);
         t.addRow({strfmt("%zu", cap),
                   strfmt("%.2fx", r.cycles / unbounded.cycles),
                   strfmt("%llu",

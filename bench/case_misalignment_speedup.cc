@@ -58,7 +58,8 @@ main()
                 static_cast<double>(
                     avoid.runtime->machine().misalignedAccesses()))
         .attribution(*avoid.runtime);
-    rep.scalar("speedup", raw.outcome.cycles / avoid.outcome.cycles);
+    rep.scalar("speedup", raw.outcome.cycles / avoid.outcome.cycles,
+               0.20);
     rep.write();
     std::printf("%s\n", t.render().c_str());
     std::printf("stage transitions: %llu block regenerations, "

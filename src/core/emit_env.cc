@@ -79,8 +79,10 @@ EmitEnv::emit(Il il)
                          : phase == Phase::Hot ? ipf::Bucket::Hot
                                                : ipf::Bucket::Cold;
     il.ins.meta.block_id = block_id;
-    if (cur_insn)
-        il.ins.meta.ia32_ip = cur_insn->addr;
+    // Block-end exits are emitted after endInsn() clears cur_insn; they
+    // still belong to the last translated guest instruction, so fall
+    // back to its address (the profiler keys probe events on it).
+    il.ins.meta.ia32_ip = cur_insn ? cur_insn->addr : last_insn_ip_;
     il.region = region_;
     il.ins.meta.commit_id = cur_commit_id_;
     il.sideways = in_sideways_;

@@ -400,6 +400,7 @@ class EmitEnv
     uint8_t cur_domain_ = 0;
     bool state_reg_set_ = false;
     uint32_t last_state_ip_ = 0;
+    uint32_t last_insn_ip_ = 0; //!< Most recent beginInsn() address.
     int64_t misalign_ctr_off_ = 0;
     bool in_sideways_ = false;
     bool bucket_override_ = false;

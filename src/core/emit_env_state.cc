@@ -429,6 +429,7 @@ void
 EmitEnv::beginInsn(const ia32::Insn &insn, uint32_t live_flags)
 {
     cur_insn = &insn;
+    last_insn_ip_ = insn.addr;
     live_mask_ = live_flags;
     if (region_fresh_) {
         region_start_ip_ = insn.addr;

@@ -22,6 +22,11 @@ namespace el::trace
 class Tracer;
 } // namespace el::trace
 
+namespace el::prof
+{
+class Profiler;
+} // namespace el::prof
+
 namespace el::core
 {
 
@@ -106,6 +111,11 @@ struct Options
     bool collect_block_cycles = false; //!< Per-block cycle accounting in
                                        //!< the machine, for the run
                                        //!< report's per-block rows.
+    prof::Profiler *profiler = nullptr; //!< Execution profiler (not
+                                       //!< owned). Null = off; counters
+                                       //!< live beside the timing model,
+                                       //!< so cycles are identical
+                                       //!< either way.
 };
 
 } // namespace el::core

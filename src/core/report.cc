@@ -3,7 +3,10 @@
 #include <fstream>
 
 #include "core/runtime.hh"
+#include "ia32/decoder.hh"
 #include "support/json.hh"
+#include "support/profile.hh"
+#include "support/strfmt.hh"
 
 namespace el::core
 {
@@ -142,6 +145,182 @@ writeRunReport(Runtime &rt, const std::string &workload,
     if (!f)
         return false;
     f << runReportJson(rt, workload);
+    return static_cast<bool>(f);
+}
+
+namespace
+{
+
+const char *
+insnKindName(prof::InsnKind k)
+{
+    switch (k) {
+      case prof::InsnKind::Plain: return "plain";
+      case prof::InsnKind::Cond: return "cond";
+      case prof::InsnKind::Jump: return "jump";
+      case prof::InsnKind::CallDirect: return "call";
+      case prof::InsnKind::Indirect: return "indirect";
+      case prof::InsnKind::Stop: return "stop";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+profileJson(Runtime &rt, const prof::Profiler &prof,
+            const std::string &workload)
+{
+    ipf::Machine &m = rt.machine();
+
+    json::Writer w;
+    w.beginObject();
+    w.kv("kind", "el-profile");
+    w.kv("version", 1);
+    w.kv("workload", workload);
+    w.kv("cycles", m.totalCycles());
+
+    const prof::Config &cfg = prof.config();
+    w.key("config");
+    w.beginObject();
+    w.kv("topk", cfg.topk);
+    w.kv("sample_period", cfg.sample_period);
+    w.kv("ring_capacity", static_cast<uint64_t>(cfg.ring_capacity));
+    w.endObject();
+
+    w.key("counters");
+    w.beginObject();
+    StatGroup prof_counters = prof.counters();
+    for (const auto &[name, value] : prof_counters.all())
+        w.kv(name, value);
+    w.endObject();
+
+    // Per-translation costs joined onto canonical guest entries. A
+    // canonical block may have several translations (cold variants,
+    // misalignment stages, a hot trace rooted at it).
+    std::map<uint32_t, std::vector<const BlockInfo *>> xlate_at;
+    if (m.trackBlockCycles()) {
+        for (const auto &bi : rt.translator().allBlocks())
+            if (bi && m.blockCosts().count(bi->id))
+                xlate_at[bi->entry_eip].push_back(bi.get());
+    }
+
+    w.key("blocks");
+    w.beginArray();
+    for (const auto &[entry, b] : prof.blocks()) {
+        w.beginObject();
+        w.kv("entry", static_cast<uint64_t>(entry));
+        auto ex = prof.blockExecs().find(entry);
+        w.kv("execs", ex == prof.blockExecs().end() ? uint64_t(0)
+                                                    : ex->second);
+        w.kv("insns", static_cast<uint64_t>(b.insns));
+        w.kv("term", insnKindName(b.kind));
+        w.kv("term_ip", static_cast<uint64_t>(b.term_ip));
+
+        w.key("disasm");
+        w.beginArray();
+        uint32_t ip = entry;
+        for (uint32_t k = 0; k < b.insns; ++k) {
+            ia32::Insn insn;
+            if (!ia32::decode(rt.memory(), ip, &insn)) {
+                w.str(strfmt("%08x: (undecodable)", ip));
+                break;
+            }
+            w.str(insn.toString());
+            ip = insn.next();
+        }
+        w.endArray();
+
+        auto xl = xlate_at.find(entry);
+        if (xl != xlate_at.end()) {
+            w.key("xlate");
+            w.beginArray();
+            for (const BlockInfo *bi : xl->second) {
+                const ipf::BlockCost &cost =
+                    m.blockCosts().at(bi->id);
+                w.beginObject();
+                w.kv("id", bi->id);
+                w.kv("kind",
+                     bi->kind == BlockKind::Hot ? "hot" : "cold");
+                w.kv("cycles", cost.cycles);
+                w.kv("ipf_insns", cost.insns);
+                w.endObject();
+            }
+            w.endArray();
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("cond_sites");
+    w.beginArray();
+    for (const auto &[ip, cs] : prof.condSites()) {
+        w.beginObject();
+        w.kv("ip", static_cast<uint64_t>(ip));
+        w.kv("taken_eip", static_cast<uint64_t>(cs.taken_eip));
+        w.kv("fall_eip", static_cast<uint64_t>(cs.fall_eip));
+        w.kv("taken", cs.taken);
+        w.kv("fall", cs.fall);
+        w.kv("via_link", cs.via_link);
+        w.kv("via_dispatch", cs.via_dispatch);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("indirect_sites");
+    w.beginArray();
+    for (const auto &[ip, site] : prof.indirectSites()) {
+        w.beginObject();
+        w.kv("ip", static_cast<uint64_t>(ip));
+        w.kv("execs", site.execs);
+        w.kv("hits", site.hits);
+        w.kv("misses", site.misses);
+        w.kv("evictions", site.evictions);
+        w.key("targets");
+        w.beginArray();
+        for (const prof::TargetCount &tc : site.targets) {
+            w.beginObject();
+            w.kv("eip", static_cast<uint64_t>(tc.target));
+            w.kv("count", tc.count);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("samples");
+    w.beginObject();
+    w.kv("period", cfg.sample_period);
+    w.kv("dropped", prof.samplesDropped());
+    w.key("series");
+    w.beginArray();
+    for (const prof::Sample &s : prof.samples()) {
+        w.beginObject();
+        w.kv("cycle", s.cycle);
+        w.kv("dispatch_lookups", s.dispatch_lookups);
+        w.kv("cache_occupancy", s.cache_occupancy);
+        w.kv("hot_queue_depth", s.hot_queue_depth);
+        w.kv("worker_inflight", s.worker_inflight);
+        w.kv("fault_fires", s.fault_fires);
+        w.kv("profile_events", s.profile_events);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.endObject();
+    return w.str() + "\n";
+}
+
+bool
+writeProfile(Runtime &rt, const prof::Profiler &prof,
+             const std::string &workload, const std::string &path)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << profileJson(rt, prof, workload);
     return static_cast<bool>(f);
 }
 

@@ -18,6 +18,11 @@
 
 #include <string>
 
+namespace el::prof
+{
+class Profiler;
+} // namespace el::prof
+
 namespace el::core
 {
 
@@ -56,6 +61,21 @@ std::string runReportJson(Runtime &rt, const std::string &workload);
 /** Write runReportJson() to @p path; false on I/O failure. */
 bool writeRunReport(Runtime &rt, const std::string &workload,
                     const std::string &path);
+
+/**
+ * The execution profile as a JSON object string (`el_prof` renders it):
+ * per-block execution counts with IA-32 disassembly and — when
+ * Options::collect_block_cycles was set — the joined per-translation
+ * IPF cycle/instruction costs, per-site conditional edge counters,
+ * per-site indirect-target distributions, the sampled time series, and
+ * the profiler's own health counters.
+ */
+std::string profileJson(Runtime &rt, const prof::Profiler &prof,
+                        const std::string &workload);
+
+/** Write profileJson() to @p path; false on I/O failure. */
+bool writeProfile(Runtime &rt, const prof::Profiler &prof,
+                  const std::string &workload, const std::string &path);
 
 } // namespace el::core
 

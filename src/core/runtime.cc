@@ -2,11 +2,13 @@
 
 #include <cstring>
 
+#include "ia32/decoder.hh"
 #include "ia32/flags.hh"
 #include "ia32/interp.hh"
 #include "ipf/regs.hh"
 #include "support/bitfield.hh"
 #include "support/logging.hh"
+#include "support/profile.hh"
 #include "support/trace.hh"
 
 namespace el::core
@@ -46,6 +48,58 @@ Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
     trace_ = options_.trace;
     if (options_.collect_block_cycles)
         machine_->setTrackBlockCycles(true);
+    profiler_ = options_.profiler;
+    if (profiler_) {
+        machine_->setProfiler(profiler_);
+        // Canonical-decode resolver: a pure function of guest memory,
+        // independent of the translator's region discovery (whose
+        // block splits depend on analysis window and discovery order).
+        profiler_->setResolver([this](uint32_t ip) {
+            prof::InsnInfo info;
+            ia32::Insn insn;
+            if (!ia32::decode(mem_, ip, &insn)) {
+                info.kind = prof::InsnKind::Stop;
+                info.next = ip;
+                return info;
+            }
+            info.next = insn.next();
+            switch (insn.op) {
+              case ia32::Op::Jcc:
+                info.kind = prof::InsnKind::Cond;
+                info.target = insn.target();
+                break;
+              case ia32::Op::Jmp:
+                info.kind = prof::InsnKind::Jump;
+                info.target = insn.target();
+                break;
+              case ia32::Op::Call:
+                info.kind = prof::InsnKind::CallDirect;
+                info.target = insn.target();
+                break;
+              case ia32::Op::JmpInd:
+              case ia32::Op::CallInd:
+              case ia32::Op::Ret:
+                info.kind = prof::InsnKind::Indirect;
+                break;
+              default:
+                info.kind = ia32::endsBlock(insn)
+                                ? prof::InsnKind::Stop
+                                : prof::InsnKind::Plain;
+                break;
+            }
+            return info;
+        });
+        profiler_->setSampleGather([this](prof::Sample *s) {
+            s->dispatch_lookups = dispatch_lookups_;
+            s->cache_occupancy =
+                static_cast<uint64_t>(cache_.nextIndex());
+            s->hot_queue_depth = hot_queue_.size();
+            s->worker_inflight =
+                hot_pipeline_ ? hot_pipeline_->inFlight() : 0;
+            const FaultInjector *fi = inject_scope_.get();
+            s->fault_fires = fi ? fi->totalFires() : 0;
+        });
+    }
     if (trace_) {
         translator_->setTrace(
             trace_, [this] { return machine_->totalCycles(); });
@@ -238,6 +292,7 @@ Runtime::chargeTranslatorOverhead()
 int64_t
 Runtime::dispatchEntry(uint32_t eip, bool force_cold, bool fresh_cold)
 {
+    ++dispatch_lookups_;
     SpecContext spec = currentSpec();
     BlockInfo *block = force_cold
         ? translator_->dispatchCold(eip, spec, fresh_cold)
@@ -661,6 +716,8 @@ Runtime::interpretFallback(ia32::State *state, RunResult *result,
     }
     loadContext(*state);
     *next_eip = state->eip;
+    if (profiler_)
+        profiler_->resync(*next_eip);
     return true;
 }
 
@@ -677,6 +734,10 @@ Runtime::deliverFault(ia32::State *state, const ia32::Fault &fault,
         return false;
     }
     loadContext(*state);
+    // The fault abandoned whatever block was mid-flight; re-anchor the
+    // profiler's control-flow cursor at the handler entry.
+    if (profiler_)
+        profiler_->resync(state->eip);
     return true;
 }
 
@@ -693,6 +754,8 @@ Runtime::run(ia32::State &state)
     uint32_t next_eip = state.eip;
     bool force_cold_once = false;
     bool fresh_cold_once = false;
+    if (profiler_)
+        profiler_->resync(next_eip);
 
     for (;;) {
         if (machine_->totalCycles() >=
@@ -705,6 +768,8 @@ Runtime::run(ia32::State &state)
         // Block re-entry boundary: the only place finished pipeline
         // sessions become visible to the guest.
         adoptHotResults();
+        if (profiler_)
+            profiler_->maybeSample(machine_->totalCycles());
 
         int64_t entry = dispatchEntry(next_eip, force_cold_once,
                                       fresh_cold_once);
@@ -863,6 +928,10 @@ Runtime::run(ia32::State &state)
             }
             loadContext(state);
             next_eip = state.eip;
+            // The machine's SyscallGate probe invalidated the cursor;
+            // execution architecturally resumes at the return EIP.
+            if (profiler_)
+                profiler_->resync(next_eip);
             break;
           }
 
@@ -905,6 +974,14 @@ Runtime::run(ia32::State &state)
             uint32_t width = static_cast<uint32_t>(stop.payload >> 32);
             translator_->invalidateRange(addr, width ? width : 4096);
             next_eip = block ? block->entry_eip : addr;
+            if (profiler_) {
+                // Canonical decodes over the written range are stale.
+                // The SMC guard fires at the block head, before any
+                // probe, so re-anchoring at the re-execution point
+                // keeps the event stream architectural.
+                profiler_->invalidateCode(addr, width ? width : 4096);
+                profiler_->resync(next_eip);
+            }
             break;
           }
 

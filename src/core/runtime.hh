@@ -64,6 +64,7 @@ class Runtime
 
     ipf::Machine &machine() { return *machine_; }
     Translator &translator() { return *translator_; }
+    const mem::Memory &memory() const { return mem_; }
     ipf::CodeCache &codeCache() { return cache_; }
     StatGroup &stats() { return stats_; }
     const Options &options() const { return options_; }
@@ -76,6 +77,9 @@ class Runtime
      * misalignment penalties the machine tracks per bucket.
      */
     double faultOverheadCycles() const { return fault_overhead_cycles_; }
+
+    /** Dispatch-loop lookups serviced so far (monotonic). */
+    uint64_t dispatchLookups() const { return dispatch_lookups_; }
 
     /** Copy guest architectural state into the machine + runtime area. */
     void loadContext(const ia32::State &state);
@@ -154,6 +158,9 @@ class Runtime
     StatGroup stats_;
     std::deque<int32_t> hot_queue_;
     trace::Tracer *trace_ = nullptr; //!< From Options; null = off.
+    prof::Profiler *profiler_ = nullptr; //!< From Options; null = off.
+    uint64_t dispatch_lookups_ = 0; //!< dispatchEntry() calls (sampled
+                                    //!< by the profiler time series).
     double fault_overhead_cycles_ = 0;
 
     // Declared last on purpose: destruction joins the worker threads

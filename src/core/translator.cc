@@ -811,6 +811,9 @@ Translator::runHotSession(const HotSessionInput &in,
                                            : insn.cond);
                         env.endInsn();
                         env.sideExit(p_off, off_eip);
+                        // Worker-private profile-site tally; merged
+                        // into the shared stats at adoption.
+                        out->stats.add("prof.hot_cond_probes");
                         continue;
                     }
                     if (insn.op == Op::Call && on_trace &&
@@ -830,6 +833,12 @@ Translator::runHotSession(const HotSessionInput &in,
                         continue;
                     }
                     // Trace terminator.
+                    if (insn.op == Op::Jcc)
+                        out->stats.add("prof.hot_cond_probes");
+                    else if (insn.op == Op::JmpInd ||
+                             insn.op == Op::CallInd ||
+                             insn.op == Op::Ret)
+                        out->stats.add("prof.hot_indirect_probes");
                     emitBlockEnd(env, bb, info, true, -1);
                     tail_done = true;
                     break;

@@ -154,6 +154,13 @@ class Translator
 
     BlockInfo *blockById(int32_t id);
 
+    /** Every translation block ever created, indexed by id (stable;
+     *  includes invalidated blocks). Read-only, for reporting. */
+    const std::vector<std::unique_ptr<BlockInfo>> &allBlocks() const
+    {
+        return blocks_;
+    }
+
     /** Stop a cold block's use counter from re-registering (covered by
      *  a hot trace, an in-flight pipeline session, or a permanently
      *  failed hot translation). The Exit becomes a Nop but keeps its

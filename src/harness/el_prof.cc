@@ -1,0 +1,400 @@
+/**
+ * @file
+ * `el_prof`: renders the execution-profile JSON written by
+ * `el_run --profile-out`.
+ *
+ * Views:
+ *   (default)      flat summary — hottest blocks, hottest conditional
+ *                  edges, per-site indirect-target distributions, and
+ *                  the profiler's health counters
+ *   --annotate[=N] the top-N blocks with their IA-32 disassembly and
+ *                  the joined per-translation IPF cycle costs
+ *   --csv[=file]   the sampled time series as CSV (stdout by default)
+ *   --check        schema validation only (used by CI on the uploaded
+ *                  artifact); exits 0 when the file is a well-formed
+ *                  profile, 2 otherwise
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace
+{
+
+using el::json::Value;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: el_prof [options] <profile.json>\n"
+        "  --top=<n>        rows per table (default 10)\n"
+        "  --annotate[=<n>] annotated listing of the <n> hottest\n"
+        "                   blocks (default 5)\n"
+        "  --csv[=<file>]   dump the time series as CSV\n"
+        "  --check          validate the schema and exit (0 = ok)\n");
+}
+
+/** The rows of array member @p key, sorted descending by @p by. */
+std::vector<const Value *>
+sortedRows(const Value &root, const char *key, const char *by)
+{
+    std::vector<const Value *> rows;
+    const Value *arr = root.find(key);
+    if (arr && arr->isArray())
+        for (const Value &v : arr->arr)
+            rows.push_back(&v);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const Value *a, const Value *b) {
+                         return a->numberOr(by, 0) > b->numberOr(by, 0);
+                     });
+    return rows;
+}
+
+double
+condWeight(const Value &site)
+{
+    return site.numberOr("taken", 0) + site.numberOr("fall", 0);
+}
+
+/** Total cycles across a block's translations (0 when not joined). */
+double
+xlateCycles(const Value &block)
+{
+    const Value *xl = block.find("xlate");
+    double cycles = 0;
+    if (xl && xl->isArray())
+        for (const Value &t : xl->arr)
+            cycles += t.numberOr("cycles", 0);
+    return cycles;
+}
+
+void
+printBlocks(const Value &root, size_t top)
+{
+    std::printf("hottest blocks (by executions):\n");
+    std::printf("  %-10s %10s %6s %-9s %12s\n", "entry", "execs",
+                "insns", "term", "ipf-cycles");
+    std::vector<const Value *> rows = sortedRows(root, "blocks", "execs");
+    for (size_t i = 0; i < rows.size() && i < top; ++i) {
+        const Value &b = *rows[i];
+        std::printf("  %08llx   %10.0f %6.0f %-9s %12.0f\n",
+                    (unsigned long long)b.numberOr("entry", 0),
+                    b.numberOr("execs", 0), b.numberOr("insns", 0),
+                    b.strOr("term", "?").c_str(), xlateCycles(b));
+    }
+    std::printf("\n");
+}
+
+void
+printEdges(const Value &root, size_t top)
+{
+    std::printf("hottest conditional edges:\n");
+    std::printf("  %-10s %10s %10s %7s  %s\n", "site", "taken", "fall",
+                "taken%", "targets");
+    std::vector<const Value *> rows;
+    const Value *arr = root.find("cond_sites");
+    if (arr && arr->isArray())
+        for (const Value &v : arr->arr)
+            rows.push_back(&v);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Value *a, const Value *b) {
+                         return condWeight(*a) > condWeight(*b);
+                     });
+    for (size_t i = 0; i < rows.size() && i < top; ++i) {
+        const Value &s = *rows[i];
+        double taken = s.numberOr("taken", 0);
+        double total = condWeight(s);
+        std::printf("  %08llx   %10.0f %10.0f %6.1f%%  "
+                    "%08llx / %08llx\n",
+                    (unsigned long long)s.numberOr("ip", 0), taken,
+                    s.numberOr("fall", 0),
+                    total > 0 ? 100.0 * taken / total : 0.0,
+                    (unsigned long long)s.numberOr("taken_eip", 0),
+                    (unsigned long long)s.numberOr("fall_eip", 0));
+    }
+    std::printf("\n");
+}
+
+void
+printIndirects(const Value &root, size_t top)
+{
+    std::printf("indirect sites (by executions):\n");
+    std::vector<const Value *> rows =
+        sortedRows(root, "indirect_sites", "execs");
+    for (size_t i = 0; i < rows.size() && i < top; ++i) {
+        const Value &s = *rows[i];
+        double execs = s.numberOr("execs", 0);
+        double hits = s.numberOr("hits", 0);
+        std::printf("  %08llx: execs=%.0f hit-rate=%.1f%% "
+                    "evictions=%.0f\n",
+                    (unsigned long long)s.numberOr("ip", 0), execs,
+                    execs > 0 ? 100.0 * hits / execs : 0.0,
+                    s.numberOr("evictions", 0));
+        const Value *targets = s.find("targets");
+        if (!targets || !targets->isArray())
+            continue;
+        std::vector<const Value *> ts;
+        for (const Value &t : targets->arr)
+            ts.push_back(&t);
+        std::stable_sort(ts.begin(), ts.end(),
+                         [](const Value *a, const Value *b) {
+                             return a->numberOr("count", 0) >
+                                    b->numberOr("count", 0);
+                         });
+        for (const Value *t : ts) {
+            double count = t->numberOr("count", 0);
+            std::printf("    -> %08llx %10.0f (%.1f%%)\n",
+                        (unsigned long long)t->numberOr("eip", 0),
+                        count, execs > 0 ? 100.0 * count / execs : 0.0);
+        }
+    }
+    std::printf("\n");
+}
+
+void
+printCounters(const Value &root)
+{
+    const Value *counters = root.find("counters");
+    if (!counters || !counters->isObject())
+        return;
+    std::printf("profiler health:\n");
+    for (const auto &[name, v] : counters->obj)
+        if (v.isNumber())
+            std::printf("  %-24s %12.0f\n", name.c_str(), v.num);
+    std::printf("\n");
+}
+
+void
+printAnnotated(const Value &root, size_t top)
+{
+    std::vector<const Value *> rows = sortedRows(root, "blocks", "execs");
+    double total_cycles = root.numberOr("cycles", 0);
+    for (size_t i = 0; i < rows.size() && i < top; ++i) {
+        const Value &b = *rows[i];
+        double execs = b.numberOr("execs", 0);
+        std::printf("block %08llx: execs=%.0f insns=%.0f term=%s\n",
+                    (unsigned long long)b.numberOr("entry", 0), execs,
+                    b.numberOr("insns", 0),
+                    b.strOr("term", "?").c_str());
+        const Value *xl = b.find("xlate");
+        if (xl && xl->isArray()) {
+            for (const Value &t : xl->arr) {
+                double cycles = t.numberOr("cycles", 0);
+                std::printf("  [%s #%.0f] %12.0f cycles "
+                            "(%4.1f%% of run), %.0f ipf insns",
+                            t.strOr("kind", "?").c_str(),
+                            t.numberOr("id", 0), cycles,
+                            total_cycles > 0
+                                ? 100.0 * cycles / total_cycles
+                                : 0.0,
+                            t.numberOr("ipf_insns", 0));
+                if (execs > 0)
+                    std::printf(", %.2f cycles/exec", cycles / execs);
+                std::printf("\n");
+            }
+        }
+        const Value *disasm = b.find("disasm");
+        if (disasm && disasm->isArray())
+            for (const Value &line : disasm->arr)
+                if (line.isString())
+                    std::printf("    %s\n", line.str.c_str());
+        std::printf("\n");
+    }
+}
+
+int
+dumpCsv(const Value &root, const std::string &path)
+{
+    static const char *cols[] = {
+        "cycle",           "dispatch_lookups", "cache_occupancy",
+        "hot_queue_depth", "worker_inflight",  "fault_fires",
+        "profile_events"};
+
+    std::ostringstream out;
+    for (size_t c = 0; c < std::size(cols); ++c)
+        out << (c ? "," : "") << cols[c];
+    out << "\n";
+
+    const Value *samples = root.find("samples");
+    const Value *series = samples ? samples->find("series") : nullptr;
+    if (series && series->isArray())
+        for (const Value &s : series->arr) {
+            for (size_t c = 0; c < std::size(cols); ++c)
+                out << (c ? "," : "")
+                    << el::json::number(s.numberOr(cols[c], 0));
+            out << "\n";
+        }
+
+    if (path.empty()) {
+        std::fputs(out.str().c_str(), stdout);
+        return 0;
+    }
+    std::ofstream f(path, std::ios::binary);
+    f << out.str();
+    if (!f) {
+        std::fprintf(stderr, "el_prof: cannot write %s\n", path.c_str());
+        return 2;
+    }
+    return 0;
+}
+
+/** Is @p root a well-formed el-profile document? */
+bool
+checkSchema(const Value &root, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        *error = why;
+        return false;
+    };
+    if (!root.isObject())
+        return fail("top level is not an object");
+    if (root.strOr("kind", "") != "el-profile")
+        return fail("kind is not \"el-profile\"");
+    if (root.numberOr("version", 0) != 1)
+        return fail("unsupported version");
+    if (!root.find("workload") || !root.find("workload")->isString())
+        return fail("missing workload");
+    if (!root.find("cycles") || !root.find("cycles")->isNumber())
+        return fail("missing cycles");
+    const Value *counters = root.find("counters");
+    if (!counters || !counters->isObject())
+        return fail("missing counters object");
+    for (const char *arr : {"blocks", "cond_sites", "indirect_sites"}) {
+        const Value *v = root.find(arr);
+        if (!v || !v->isArray())
+            return fail(std::string("missing array: ") + arr);
+    }
+    for (const Value &b : root.find("blocks")->arr) {
+        if (!b.find("entry") || !b.find("execs") || !b.find("disasm"))
+            return fail("block row missing entry/execs/disasm");
+        if (!b.find("disasm")->isArray())
+            return fail("block disasm is not an array");
+    }
+    for (const Value &s : root.find("indirect_sites")->arr) {
+        const Value *targets = s.find("targets");
+        if (!s.find("ip") || !s.find("execs") || !targets ||
+            !targets->isArray())
+            return fail("indirect row missing ip/execs/targets");
+        double counted = 0;
+        for (const Value &t : targets->arr)
+            counted += t.numberOr("count", 0);
+        // Space-saving top-K counts can over-approximate (an inserted
+        // target inherits the evicted minimum), but with no evictions
+        // they total exactly the site's executions.
+        if (s.numberOr("evictions", 0) == 0 &&
+            counted != s.numberOr("execs", 0))
+            return fail("indirect target counts do not sum to execs");
+    }
+    const Value *samples = root.find("samples");
+    if (!samples || !samples->isObject())
+        return fail("missing samples object");
+    const Value *series = samples->find("series");
+    if (!series || !series->isArray())
+        return fail("missing samples.series array");
+    double prev = -1;
+    for (const Value &s : series->arr) {
+        double cycle = s.numberOr("cycle", -1);
+        if (cycle <= prev)
+            return fail("samples.series cycles not increasing");
+        prev = cycle;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path, csv_path;
+    size_t top = 10, annotate = 0;
+    bool csv = false, check = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg.compare(0, 6, "--top=") == 0 && arg.size() > 6) {
+            top = static_cast<size_t>(std::atoll(arg.c_str() + 6));
+        } else if (arg == "--annotate") {
+            annotate = 5;
+        } else if (arg.compare(0, 11, "--annotate=") == 0 &&
+                   arg.size() > 11) {
+            annotate = static_cast<size_t>(std::atoll(arg.c_str() + 11));
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg.compare(0, 6, "--csv=") == 0 && arg.size() > 6) {
+            csv = true;
+            csv_path = arg.c_str() + 6;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg.compare(0, 2, "--") == 0) {
+            std::fprintf(stderr, "el_prof: unknown argument '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 1;
+    }
+
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        std::fprintf(stderr, "el_prof: cannot read %s\n", path.c_str());
+        return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+
+    Value root;
+    std::string error;
+    if (!el::json::Parser::parse(ss.str(), &root, &error)) {
+        std::fprintf(stderr, "el_prof: %s: parse error: %s\n",
+                     path.c_str(), error.c_str());
+        return 2;
+    }
+    if (!checkSchema(root, &error)) {
+        std::fprintf(stderr, "el_prof: %s: bad profile: %s\n",
+                     path.c_str(), error.c_str());
+        return 2;
+    }
+    if (check) {
+        std::printf("%s: valid el-profile (%s, %.0f events)\n",
+                    path.c_str(), root.strOr("workload", "?").c_str(),
+                    root.find("counters")->numberOr("prof.events", 0));
+        return 0;
+    }
+    if (csv)
+        return dumpCsv(root, csv_path);
+
+    std::printf("profile: %s  workload=%s  cycles=%.0f\n\n",
+                path.c_str(), root.strOr("workload", "?").c_str(),
+                root.numberOr("cycles", 0));
+    if (annotate > 0) {
+        printAnnotated(root, annotate);
+        return 0;
+    }
+    printBlocks(root, top);
+    printEdges(root, top);
+    printIndirects(root, top);
+    printCounters(root);
+    return 0;
+}

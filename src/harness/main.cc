@@ -23,6 +23,7 @@
 #include "core/report.hh"
 #include "guest/workloads.hh"
 #include "harness/exec.hh"
+#include "support/profile.hh"
 #include "support/trace.hh"
 
 namespace
@@ -50,6 +51,14 @@ usage()
         "  --fault-seed=<n>       fault-injection PRNG seed\n"
         "  --trace-out=<file>     write Chrome trace-event JSON\n"
         "  --report-json=<file>   write the machine-readable run report\n"
+        "  --profile-out=<file>   write the execution profile JSON\n"
+        "                         (render it with el_prof)\n"
+        "  --profile-period=<n>   profile sample period, simulated\n"
+        "                         cycles (default 50000)\n"
+        "  --profile-topk=<n>     indirect-target table size per site\n"
+        "                         (default 8)\n"
+        "  --profile-ring=<n>     time-series ring capacity (default\n"
+        "                         512; oldest samples dropped)\n"
         "  --validate-trace=<f>   validate a trace file and exit\n");
 }
 
@@ -103,16 +112,20 @@ int
 main(int argc, char **argv)
 {
     std::string workload_name = "gzip";
-    std::string trace_out, report_json;
+    std::string trace_out, report_json, profile_out;
     core::Options options;
+    prof::Config prof_cfg;
     bool list = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        // An empty value after '=' counts as no match, so "--flag="
+        // falls through to the unknown-argument diagnostic below.
         auto value = [&](const char *prefix) -> const char * {
             size_t n = std::strlen(prefix);
-            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
-                                                  : nullptr;
+            if (arg.compare(0, n, prefix) != 0 || arg.size() == n)
+                return nullptr;
+            return arg.c_str() + n;
         };
         if (const char *v = value("--workload=")) {
             workload_name = v;
@@ -150,11 +163,26 @@ main(int argc, char **argv)
             trace_out = v;
         } else if (const char *v = value("--report-json=")) {
             report_json = v;
+        } else if (const char *v = value("--profile-out=")) {
+            profile_out = v;
+        } else if (const char *v = value("--profile-period=")) {
+            prof_cfg.sample_period =
+                static_cast<uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--profile-topk=")) {
+            prof_cfg.topk = static_cast<uint32_t>(std::atoi(v));
+        } else if (const char *v = value("--profile-ring=")) {
+            prof_cfg.ring_capacity =
+                static_cast<size_t>(std::atoll(v));
         } else if (const char *v = value("--validate-trace=")) {
             return validateTraceFile(v);
-        } else {
+        } else if (arg == "--help") {
             usage();
-            return arg == "--help" ? 0 : 1;
+            return 0;
+        } else {
+            std::fprintf(stderr, "el_run: unknown argument '%s'\n",
+                         arg.c_str());
+            usage();
+            return 1;
         }
     }
 
@@ -186,6 +214,12 @@ main(int argc, char **argv)
         options.trace = &tracer;
     if (!report_json.empty())
         options.collect_block_cycles = true;
+    prof::Profiler profiler(prof_cfg);
+    if (!profile_out.empty()) {
+        options.profiler = &profiler;
+        // The annotated per-block view joins IPF translation costs.
+        options.collect_block_cycles = true;
+    }
 
     harness::TranslatedRun run =
         harness::runTranslated(wl->image, wl->params.abi, options);
@@ -208,6 +242,19 @@ main(int argc, char **argv)
             return 2;
         }
         std::printf("report: %s\n", report_json.c_str());
+    }
+    if (!profile_out.empty()) {
+        if (!core::writeProfile(*run.runtime, profiler, wl->name,
+                                profile_out)) {
+            std::fprintf(stderr, "el_run: cannot write %s\n",
+                         profile_out.c_str());
+            return 2;
+        }
+        std::printf("profile: %s (%llu events, %zu samples)\n",
+                    profile_out.c_str(),
+                    static_cast<unsigned long long>(
+                        profiler.eventCount()),
+                    profiler.samples().size());
     }
 
     core::Attribution attr = core::attributionOf(*run.runtime);

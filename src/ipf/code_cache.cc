@@ -18,8 +18,9 @@ CodeCache::patchToBranch(int64_t idx, int64_t target)
               static_cast<unsigned>(old_reason));
     i.op = IpfOp::Br;
     i.target = target;
-    i.exit_reason = ExitReason::None;
-    i.exit_payload = 0;
+    // Keep the reason/payload as inert metadata: the machine ignores
+    // them on a Br, but the execution profiler identifies a patched
+    // conditional-exit probe (and its guest target) by them.
 }
 
 void

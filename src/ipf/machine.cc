@@ -4,6 +4,7 @@
 
 #include "support/bitfield.hh"
 #include "support/logging.hh"
+#include "support/profile.hh"
 
 namespace el::ipf
 {
@@ -280,6 +281,71 @@ Machine::accountInstr(const Instr &i)
     }
 }
 
+void
+Machine::profileObserve(const Instr &i)
+{
+    // Report the architectural-probe instructions to the profiler. A
+    // probe is *visited* whenever execution reaches it, even when its
+    // qualifying predicate nullifies it — which is exactly what makes
+    // the event stream a pure function of the retired guest instruction
+    // sequence (see support/profile.hh). Predicate and register values
+    // are architecturally current here: the scheduler never places a
+    // probe in the same issue group as its producers.
+    switch (i.op) {
+      case IpfOp::Exit:
+        switch (i.exit_reason) {
+          case ExitReason::LinkMiss:
+            // Predicated: a conditional-branch probe (cold taken-exit
+            // or hot side exit). Unpredicated LinkMiss exits belong to
+            // unconditional transfers, which hot traces elide — not a
+            // stable observation point, so they are ignored.
+            if (i.qp)
+                profiler_->condEvent(i.meta.ia32_ip,
+                                     static_cast<uint32_t>(i.exit_payload),
+                                     prs_[i.qp], false);
+            break;
+          case ExitReason::IndirectMiss:
+            // Predicated: the fast-lookup miss exit, visited on every
+            // execution of the indirect site; the target EIP is in the
+            // source register on hit and miss alike. The unpredicated
+            // backstop after the indirect jump is unreachable.
+            if (i.qp)
+                profiler_->indirectEvent(
+                    i.meta.ia32_ip, static_cast<uint32_t>(grs_[i.src1]),
+                    !prs_[i.qp]);
+            break;
+          case ExitReason::SyscallGate:
+            profiler_->stopEvent(i.meta.ia32_ip);
+            break;
+          case ExitReason::Breakpoint:
+          case ExitReason::Halt:
+            profiler_->stopEvent(static_cast<uint32_t>(i.exit_payload));
+            break;
+          case ExitReason::GuestFault:
+            // Only the unpredicated form is a block terminator (an
+            // undecodable instruction); predicated GuestFault exits are
+            // mid-block arithmetic-fault checks.
+            if (!i.qp)
+                profiler_->stopEvent(
+                    static_cast<uint32_t>(i.exit_payload >> 8));
+            break;
+          default:
+            break;
+        }
+        break;
+      case IpfOp::Br:
+        // A linked conditional probe: patchToBranch() keeps the
+        // LinkMiss reason/payload as metadata on the patched branch.
+        if (i.qp && i.exit_reason == ExitReason::LinkMiss)
+            profiler_->condEvent(i.meta.ia32_ip,
+                                 static_cast<uint32_t>(i.exit_payload),
+                                 prs_[i.qp], true);
+        break;
+      default:
+        break;
+    }
+}
+
 StopInfo
 Machine::run(int64_t entry, uint64_t max_cycles)
 {
@@ -301,6 +367,8 @@ Machine::run(int64_t entry, uint64_t max_cycles)
         }
         const Instr &i = code_.at(ip_);
         accountInstr(i);
+        if (profiler_)
+            profileObserve(i);
         branched_ = false;
         bool cont = execute(i, &stop);
         ++retired_;

@@ -37,6 +37,11 @@
 #include "mem/cache_model.hh"
 #include "mem/memory.hh"
 
+namespace el::prof
+{
+class Profiler;
+} // namespace el::prof
+
 namespace el::ipf
 {
 
@@ -210,6 +215,14 @@ class Machine
         return block_costs_;
     }
 
+    /**
+     * Attach the execution profiler (null detaches). The machine
+     * reports probe-instruction visits to it; timing is untouched, so
+     * cycle counts are bit-identical with or without a profiler, and
+     * the detached path costs one predictable branch per instruction.
+     */
+    void setProfiler(prof::Profiler *p) { profiler_ = p; }
+
     /** Charge synthetic cycles (translator overhead, native time, idle). */
     void
     chargeCycles(Bucket bucket, double cycles)
@@ -231,6 +244,9 @@ class Machine
 
     /** Charge a group's structural cost and source stalls. */
     void accountInstr(const Instr &i);
+
+    /** Report a probe-instruction visit to the attached profiler. */
+    void profileObserve(const Instr &i);
 
     CodeCache &code_;
     mem::Memory &mem_;
@@ -261,6 +277,7 @@ class Machine
     int32_t grp_block_ = -1; //!< block id the current group belongs to
     bool grp_open_ = false;
     bool track_blocks_ = false;
+    prof::Profiler *profiler_ = nullptr; //!< Null = profiling off.
     // Group verification (debug).
     std::array<int8_t, num_grs> grp_gr_writer_{};
     std::array<int8_t, num_frs> grp_fr_writer_{};

@@ -178,6 +178,22 @@ struct Value
         auto it = obj.find(k);
         return it == obj.end() ? nullptr : &it->second;
     }
+
+    /** Member @p k as a number, or @p fallback when absent/mistyped. */
+    double
+    numberOr(const std::string &k, double fallback) const
+    {
+        const Value *v = find(k);
+        return v && v->isNumber() ? v->num : fallback;
+    }
+
+    /** Member @p k as a string, or @p fallback when absent/mistyped. */
+    std::string
+    strOr(const std::string &k, const std::string &fallback) const
+    {
+        const Value *v = find(k);
+        return v && v->isString() ? v->str : fallback;
+    }
 };
 
 /** Strict parser; returns false (with @p error) on malformed input. */

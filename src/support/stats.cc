@@ -72,11 +72,15 @@ Histogram::percentile(double p) const
 std::string
 Histogram::dump() const
 {
+    // Scale in double: 40 * n overflows uint64_t for counts beyond
+    // ~4.6e17, and the max(1, ...) keeps an all-empty histogram (or one
+    // whose only samples landed in a single bucket) off a zero divisor.
     uint64_t peak = std::max<uint64_t>(1, std::max(underflow_, overflow_));
     for (uint64_t n : buckets_)
         peak = std::max(peak, n);
     auto bar = [&](uint64_t n) {
-        return std::string(static_cast<size_t>(40 * n / peak), '#');
+        double frac = static_cast<double>(n) / static_cast<double>(peak);
+        return std::string(static_cast<size_t>(40.0 * frac), '#');
     };
 
     std::string out;

@@ -194,6 +194,35 @@ TEST(Histogram, DumpRendersBuckets)
     EXPECT_NE(out.find("[       0,       10)"), std::string::npos);
 }
 
+TEST(Histogram, DumpOfEmptyHistogramIsSafe)
+{
+    Histogram h(0, 10, 3);
+    std::string out = h.dump(); // peak is clamped; no zero divisor
+    EXPECT_NE(out.find("[       0,       10)"), std::string::npos);
+    EXPECT_EQ(out.find("#"), std::string::npos); // all bars empty
+}
+
+TEST(Histogram, DumpWithSinglePopulatedBucket)
+{
+    Histogram h(0, 10, 4);
+    h.sample(25, 7); // only bucket [20, 30) has samples
+    std::string out = h.dump();
+    // The populated bucket carries the full-scale bar; the empty
+    // buckets render without dividing by any zero count.
+    EXPECT_NE(out.find(std::string(40, '#')), std::string::npos);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 25.0);
+}
+
+TEST(Histogram, DumpWithHugeCountsDoesNotOverflow)
+{
+    Histogram h(0, 10, 2);
+    h.sample(5, 1ull << 62); // 40 * n would overflow uint64_t
+    h.sample(15, 1ull << 61);
+    std::string out = h.dump();
+    EXPECT_NE(out.find(std::string(40, '#')), std::string::npos);
+    EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+}
+
 TEST(Table, Renders)
 {
     Table t({"name", "value"});

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json files and flag scalar regressions.
+
+Usage:
+    bench_diff.py [--tolerance=0.15] <baseline.json> <current.json>
+
+Each bench binary writes a machine-readable report with a "scalars"
+object (headline aggregates) and an optional "tolerances" object
+(per-scalar relative tolerances recorded by the bench itself via
+Report::scalar(key, value, tolerance)). This tool compares the scalars
+of a current run against a committed baseline:
+
+  - a scalar missing from the current run is a failure (the bench lost
+    a headline number);
+  - a scalar whose relative change versus the baseline exceeds its
+    tolerance (per-scalar if recorded, else --tolerance) is a failure;
+  - new scalars only present in the current run are reported but pass
+    (the baseline just predates them).
+
+Exit status: 0 when everything is within tolerance, 1 on any failure,
+2 on unreadable/malformed input. CI runs this warn-only (the simulator
+is deterministic, but headline numbers legitimately move when the
+translator changes; the diff is a visibility tool, not a gate).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or "scalars" not in doc:
+        print(f"bench_diff: {path}: not a bench report (no scalars)",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def relative_change(base, cur):
+    if base == 0:
+        return 0.0 if cur == 0 else float("inf")
+    return abs(cur - base) / abs(base)
+
+
+def main(argv):
+    default_tol = 0.15
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            default_tol = float(arg[len("--tolerance="):])
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print("usage: bench_diff.py [--tolerance=N] <baseline.json> "
+              "<current.json>", file=sys.stderr)
+        return 2
+
+    baseline, current = load(paths[0]), load(paths[1])
+    if baseline.get("bench") != current.get("bench"):
+        print(f"bench_diff: comparing different benches: "
+              f"{baseline.get('bench')} vs {current.get('bench')}",
+              file=sys.stderr)
+        return 2
+
+    base_scalars = baseline["scalars"]
+    cur_scalars = current["scalars"]
+    tolerances = baseline.get("tolerances", {})
+
+    failures = 0
+    print(f"bench: {baseline.get('bench')}")
+    for key in sorted(base_scalars):
+        base = base_scalars[key]
+        tol = tolerances.get(key, default_tol)
+        if key not in cur_scalars:
+            print(f"  FAIL {key}: missing from current run "
+                  f"(baseline {base:.6g})")
+            failures += 1
+            continue
+        cur = cur_scalars[key]
+        change = relative_change(base, cur)
+        verdict = "ok  " if change <= tol else "FAIL"
+        if change > tol:
+            failures += 1
+        print(f"  {verdict} {key}: {base:.6g} -> {cur:.6g} "
+              f"({change * 100.0:+.1f}% vs tol {tol * 100.0:.0f}%)")
+    for key in sorted(set(cur_scalars) - set(base_scalars)):
+        print(f"  new  {key}: {cur_scalars[key]:.6g} (not in baseline)")
+
+    if failures:
+        print(f"bench_diff: {failures} scalar(s) beyond tolerance")
+        return 1
+    print("bench_diff: all scalars within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
