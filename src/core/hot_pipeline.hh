@@ -71,6 +71,10 @@ struct HotSessionInput
     uint32_t trace_insns = 0;        //!< IA-32 insns in one copy.
     /** Entry EIPs of interior trace blocks (coverage at commit). */
     std::vector<uint32_t> covered_eips;
+    /** SMC guards for constituent blocks on writable pages: (guest
+     *  address, expected bytes). Snapshotted on the main thread at
+     *  freeze time — workers must never read live guest memory. */
+    std::vector<std::pair<uint32_t, uint64_t>> smc_guards;
 };
 
 /** A queued hot-translation request (self-contained; workers own it). */

@@ -27,6 +27,11 @@ namespace el::prof
 class Profiler;
 } // namespace el::prof
 
+namespace el::sentinel
+{
+class Sentinel;
+} // namespace el::sentinel
+
 namespace el::core
 {
 
@@ -116,6 +121,13 @@ struct Options
                                        //!< live beside the timing model,
                                        //!< so cycles are identical
                                        //!< either way.
+    sentinel::Sentinel *sentinel = nullptr; //!< Divergence sentinel +
+                                       //!< quarantine ledger (not owned).
+                                       //!< Null = off: no checkpoints,
+                                       //!< no shadow replays, and every
+                                       //!< hook is one predictable
+                                       //!< branch costing zero simulated
+                                       //!< cycles.
 };
 
 } // namespace el::core

@@ -1,6 +1,9 @@
 #include "core/runtime.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <map>
+#include <set>
 
 #include "ia32/decoder.hh"
 #include "ia32/flags.hh"
@@ -48,6 +51,7 @@ Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
     trace_ = options_.trace;
     if (options_.collect_block_cycles)
         machine_->setTrackBlockCycles(true);
+    sentinel_ = options_.sentinel;
     profiler_ = options_.profiler;
     if (profiler_) {
         machine_->setProfiler(profiler_);
@@ -292,6 +296,12 @@ Runtime::chargeTranslatorOverhead()
 int64_t
 Runtime::dispatchEntry(uint32_t eip, bool force_cold, bool fresh_cold)
 {
+    if (sentinel_ && sentinel_->interpretGate(eip)) {
+        // Quarantined EIP: refuse to translate or hand out an entry —
+        // even via patched links — so execution funnels back to the
+        // top-of-loop gate and its interpreter fallback.
+        return -2;
+    }
     ++dispatch_lookups_;
     SpecContext spec = currentSpec();
     BlockInfo *block = force_cold
@@ -721,6 +731,241 @@ Runtime::interpretFallback(ia32::State *state, RunResult *result,
     return true;
 }
 
+namespace
+{
+
+/** Net effect of a journal: last byte written per address. */
+std::map<uint64_t, uint8_t>
+journalFinals(const mem::WriteJournal &j)
+{
+    std::map<uint64_t, uint8_t> m;
+    for (const mem::WriteJournal::Entry &e : j.entries)
+        m[e.addr] = e.new_byte; // forward order: last write wins
+    return m;
+}
+
+/** Pre-region byte per address touched by a journal. */
+std::map<uint64_t, uint8_t>
+journalOrigins(const mem::WriteJournal &j)
+{
+    std::map<uint64_t, uint8_t> m;
+    for (const mem::WriteJournal::Entry &e : j.entries)
+        m.emplace(e.addr, e.old_byte); // first record is the original
+    return m;
+}
+
+/**
+ * Compare the net memory effect of two journals recorded from the same
+ * starting image: for every address either touched, the final byte must
+ * agree (an address only one journal touched counts as final == its
+ * pre-region value on the other side).
+ */
+bool
+journalsMatch(const mem::WriteJournal &a, const mem::WriteJournal &b)
+{
+    std::map<uint64_t, uint8_t> fa = journalFinals(a);
+    std::map<uint64_t, uint8_t> fb = journalFinals(b);
+    std::map<uint64_t, uint8_t> oa = journalOrigins(a);
+    std::map<uint64_t, uint8_t> ob = journalOrigins(b);
+    auto lookup = [](const std::map<uint64_t, uint8_t> &m, uint64_t k,
+                     uint8_t dflt) {
+        auto it = m.find(k);
+        return it == m.end() ? dflt : it->second;
+    };
+    for (const auto &[addr, va] : fa) {
+        if (lookup(fb, addr, lookup(ob, addr, oa.at(addr))) != va)
+            return false;
+    }
+    for (const auto &[addr, vb] : fb) {
+        if (lookup(fa, addr, lookup(oa, addr, ob.at(addr))) != vb)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+Runtime::armCheckpoint(uint32_t eip)
+{
+    storeContext(&ck_state_, eip);
+    ck_eip_ = eip;
+    journal_.clear();
+    // Runtime-area stores (use counters, status bytes, lookup entries)
+    // are translator bookkeeping, not guest-architectural effect; the
+    // interpreter oracle never performs them.
+    journal_.exclude_lo = rt_base_;
+    journal_.exclude_hi = rt_base_ + rt::area_size;
+    mem_.setWriteJournal(&journal_);
+    visit_log_.clear();
+    machine_->setVisitLog(&visit_log_);
+    ck_armed_ = true;
+    stats_.add("sentinel.checked");
+}
+
+void
+Runtime::discardCheckpoint(const char *why_stat)
+{
+    mem_.setWriteJournal(nullptr);
+    machine_->setVisitLog(nullptr);
+    ck_armed_ = false;
+    stats_.add(why_stat);
+}
+
+bool
+Runtime::replayMatches(RegionEnd kind, const ia32::State &mstate,
+                       uint8_t vector, const ia32::Fault *fault,
+                       mem::WriteJournal *replay_journal)
+{
+    // The replay must re-execute the recorded history exactly: storm
+    // injection must neither perturb it nor consume injector budget.
+    FaultSuppressScope suppress;
+    replay_journal->clear();
+    replay_journal->exclude_lo = journal_.exclude_lo;
+    replay_journal->exclude_hi = journal_.exclude_hi;
+    mem_.setWriteJournal(replay_journal);
+
+    ia32::State s = ck_state_;
+    ia32::Interpreter interp(s, mem_);
+    bool matched = false;
+    const uint64_t budget = sentinel_->config().replay_budget;
+    // EFlags elimination leaves architecturally-dead flags
+    // unmaterialized at region boundaries; the oracle computes every
+    // flag exactly. Comparing them would flag every eliminated flag as
+    // a divergence, so the arbitration runs flags-blind: GPRs, control
+    // flow, FPU/XMM state and the memory journal still convict any
+    // consequential miscompile (a flag-only corruption steers a branch
+    // and surfaces as an eip/GPR divergence within a region or two).
+    auto archMatches = [](const ia32::State &a, const ia32::State &b) {
+        ia32::State t = a;
+        t.eflags = b.eflags;
+        return t.equalsArch(b);
+    };
+    for (uint64_t n = 0;; ++n) {
+        if (kind == RegionEnd::Boundary && s.eip == mstate.eip &&
+            archMatches(s, mstate) &&
+            journalsMatch(journal_, *replay_journal)) {
+            // The oracle reached the region's claimed end with the
+            // machine's exact state and net memory effect.
+            matched = true;
+            break;
+        }
+        if (n >= budget)
+            break; // budget exhausted without a match: divergence
+        ia32::StepResult rs = interp.step();
+        if (rs.kind == ia32::StepKind::Ok)
+            continue;
+        if (rs.kind == ia32::StepKind::Int) {
+            matched = kind == RegionEnd::Syscall &&
+                      rs.vector == vector && s.eip == mstate.eip &&
+                      archMatches(s, mstate) &&
+                      journalsMatch(journal_, *replay_journal);
+            break;
+        }
+        if (rs.kind == ia32::StepKind::Fault) {
+            matched = kind == RegionEnd::Fault && fault &&
+                      rs.fault.kind == fault->kind &&
+                      rs.fault.eip == fault->eip &&
+                      (rs.fault.kind != ia32::FaultKind::PageFault ||
+                       rs.fault.addr == fault->addr) &&
+                      s.eip == mstate.eip && archMatches(s, mstate) &&
+                      journalsMatch(journal_, *replay_journal);
+            break;
+        }
+        // Halt inside a region that claimed to end elsewhere.
+        break;
+    }
+    mem_.setWriteJournal(nullptr);
+    return matched;
+}
+
+bool
+Runtime::finishRegionCheck(RegionEnd kind, const ia32::State &mstate,
+                           uint8_t vector, const ia32::Fault *fault)
+{
+    // Detach first: the replay arms its own journal, and divergence
+    // handling must not journal its own repairs.
+    mem_.setWriteJournal(nullptr);
+    machine_->setVisitLog(nullptr);
+    ck_armed_ = false;
+
+    // Rewind memory to the checkpoint image; the oracle re-executes the
+    // region's writes from there.
+    mem_.undoJournal(journal_);
+
+    mem::WriteJournal replay_journal;
+    bool ok =
+        replayMatches(kind, mstate, vector, fault, &replay_journal);
+
+    // Unwind the oracle's writes. On a pass the machine's own image is
+    // reinstated byte-exactly (the digest proved the net effects equal,
+    // but the machine's execution is the canonical one); on a
+    // divergence memory stays at the checkpoint for the rollback.
+    mem_.undoJournal(replay_journal);
+    if (ok) {
+        mem_.redoJournal(journal_);
+        stats_.add("sentinel.passed");
+        return true;
+    }
+
+    stats_.add("sentinel.divergence");
+    quarantineRegion(mstate.eip);
+    loadContext(ck_state_);
+    if (profiler_)
+        profiler_->resync(ck_eip_);
+    if (trace_)
+        trace_->instant("divergence", trace::Cat::Fault, 0,
+                        machine_->totalCycles(),
+                        {{"eip", static_cast<int64_t>(ck_eip_)},
+                         {"end_eip",
+                          static_cast<int64_t>(mstate.eip)}});
+    return false;
+}
+
+void
+Runtime::quarantineRegion(uint32_t end_eip)
+{
+    sentinel::DivergenceInfo info;
+    info.checkpoint_eip = ck_eip_;
+    info.region_index = sentinel_->regionsSeen();
+    uint32_t lo = ~0u, hi = 0;
+    std::set<int32_t> seen;
+    for (int32_t id : visit_log_) {
+        if (!seen.insert(id).second)
+            continue;
+        BlockInfo *b = translator_->blockById(id);
+        if (!b)
+            continue;
+        if (info.first_block < 0)
+            info.first_block = id;
+        // The offending IA-32 range: every guest ip the quarantined
+        // artifacts were translated from.
+        lo = std::min(lo, b->entry_eip);
+        hi = std::max(hi, b->entry_eip);
+        for (int64_t i = b->cache_entry;
+             i >= 0 && i < b->cache_end; ++i) {
+            uint32_t ip = cache_.at(i).meta.ia32_ip;
+            if (ip) {
+                lo = std::min(lo, ip);
+                hi = std::max(hi, ip);
+            }
+        }
+        sentinel_->noteDivergence(b->entry_eip);
+        translator_->quarantineBlock(b);
+    }
+    if (seen.empty() || !sentinel_->record(ck_eip_)) {
+        // Degenerate region (empty or overflowed visit log): at least
+        // gate the checkpoint EIP so the resume runs on the oracle.
+        sentinel_->noteDivergence(ck_eip_);
+    }
+    if (visit_log_.dropped() > 0)
+        stats_.set("sentinel.visit_overflow", visit_log_.dropped());
+    info.boundary_eip = end_eip;
+    info.ip_lo = lo == ~0u ? ck_eip_ : lo;
+    info.ip_hi = hi == 0 ? ck_eip_ : hi;
+    sentinel_->logDivergence(info);
+}
+
 bool
 Runtime::deliverFault(ia32::State *state, const ia32::Fault &fault,
                       RunResult *result)
@@ -760,9 +1005,36 @@ Runtime::run(ia32::State &state)
     for (;;) {
         if (machine_->totalCycles() >=
             static_cast<double>(options_.max_run_cycles)) {
+            if (ck_armed_)
+                discardCheckpoint("sentinel.skipped_limit");
             result.kind = RunResult::Kind::CycleLimit;
             storeContext(&state, next_eip);
             return result;
+        }
+
+        if (ck_armed_) {
+            // The checked region ended at an ordinary dispatch
+            // boundary: verify before any of its effects propagate.
+            ia32::State mstate;
+            storeContext(&mstate, next_eip);
+            if (!finishRegionCheck(RegionEnd::Boundary, mstate, 0,
+                                   nullptr)) {
+                next_eip = ck_eip_;
+                force_cold_once = false;
+                fresh_cold_once = false;
+            }
+        }
+
+        if (sentinel_ && sentinel_->interpretGate(next_eip)) {
+            // Quarantined artifact: serve this dispatch under the
+            // interpreter oracle and count down its quarantine.
+            stats_.add("sentinel.gated_dispatches");
+            sentinel_->tickCooldown(next_eip);
+            force_cold_once = false;
+            fresh_cold_once = false;
+            if (!interpretFallback(&state, &result, &next_eip))
+                return result;
+            continue;
         }
 
         // Block re-entry boundary: the only place finished pipeline
@@ -795,6 +1067,9 @@ Runtime::run(ia32::State &state)
             continue;
         }
 
+        if (sentinel_ && !ck_armed_ && sentinel_->shouldCheck())
+            armCheckpoint(next_eip);
+
         double remaining = static_cast<double>(options_.max_run_cycles) -
                            machine_->totalCycles();
         ipf::StopInfo stop = machine_->run(
@@ -804,6 +1079,8 @@ Runtime::run(ia32::State &state)
                                options_.runtime_entry_cost);
 
         if (stop.kind == StopKind::CycleLimit) {
+            if (ck_armed_)
+                discardCheckpoint("sentinel.skipped_limit");
             result.kind = RunResult::Kind::CycleLimit;
             storeContext(&state, next_eip);
             return result;
@@ -832,6 +1109,18 @@ Runtime::run(ia32::State &state)
                 fault.eip = eip;
             }
             stats_.add("faults.memory");
+            if (ck_armed_ &&
+                !finishRegionCheck(RegionEnd::Fault, state, 0,
+                                   &fault)) {
+                // The "fault" was an artifact of a bad translation
+                // (e.g. a corrupted address computation): it must never
+                // reach the guest. Rolled back; resume at checkpoint.
+                next_eip = ck_eip_;
+                continue;
+            }
+            if (sentinel_ && block &&
+                sentinel_->noteFault(block->entry_eip))
+                translator_->quarantineBlock(block);
             if (!deliverFault(&state, fault, &result))
                 return result;
             next_eip = state.eip;
@@ -849,7 +1138,8 @@ Runtime::run(ia32::State &state)
             // tail, extend the hot tiling at the target immediately
             // instead of decaying into cold execution.
             if (block && block->kind == BlockKind::Hot &&
-                options_.enable_hot_phase) {
+                options_.enable_hot_phase &&
+                !(sentinel_ && sentinel_->interpretGate(target))) {
                 SpecContext spec = currentSpec();
                 BlockInfo *cold =
                     translator_->dispatchCold(target, spec, false);
@@ -919,6 +1209,15 @@ Runtime::run(ia32::State &state)
             uint32_t ret_eip =
                 static_cast<uint32_t>(stop.payload & 0xffffffff);
             storeContext(&state, ret_eip);
+            if (ck_armed_ &&
+                !finishRegionCheck(RegionEnd::Syscall, state, vector,
+                                   nullptr)) {
+                // Never let a region that corrupted state reach the
+                // OS: the syscall is not serviced; resume from the
+                // checkpoint on the oracle.
+                next_eip = ck_eip_;
+                break;
+            }
             btlib::SyscallResult res =
                 btos_.systemService(state, vector);
             if (res.exit) {
@@ -961,6 +1260,12 @@ Runtime::run(ia32::State &state)
             stats_.add("exits.guard_fail");
             el_assert(block, "guard exit without a block");
             recoverGuard(block, stop.payload);
+            if (sentinel_ &&
+                sentinel_->noteGuardMiss(block->entry_eip)) {
+                // Chronic guard mispredicts crossed the quarantine
+                // threshold: blacklist the artifact.
+                translator_->quarantineBlock(block);
+            }
             next_eip = block->entry_eip;
             break;
           }
@@ -1011,6 +1316,15 @@ Runtime::run(ia32::State &state)
             } else {
                 storeContext(&state, fault.eip);
             }
+            if (ck_armed_ &&
+                !finishRegionCheck(RegionEnd::Fault, state, 0,
+                                   &fault)) {
+                next_eip = ck_eip_;
+                break;
+            }
+            if (sentinel_ && block &&
+                sentinel_->noteFault(block->entry_eip))
+                translator_->quarantineBlock(block);
             if (!deliverFault(&state, fault, &result))
                 return result;
             next_eip = state.eip;
@@ -1019,6 +1333,8 @@ Runtime::run(ia32::State &state)
 
           case ExitReason::Breakpoint: {
             stats_.add("exits.breakpoint");
+            if (ck_armed_)
+                discardCheckpoint("sentinel.skipped_breakpoint");
             ia32::Fault fault;
             fault.kind = FaultKind::Breakpoint;
             fault.eip = static_cast<uint32_t>(stop.payload);
@@ -1031,6 +1347,8 @@ Runtime::run(ia32::State &state)
 
           case ExitReason::Halt: {
             stats_.add("exits.halt");
+            if (ck_armed_)
+                discardCheckpoint("sentinel.skipped_halt");
             storeContext(&state,
                          static_cast<uint32_t>(stop.payload));
             result.kind = RunResult::Kind::Exit;

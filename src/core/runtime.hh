@@ -24,6 +24,8 @@
 #include "ipf/machine.hh"
 #include "mem/memory.hh"
 #include "support/faultinject.hh"
+#include "support/ring.hh"
+#include "support/sentinel.hh"
 #include "support/stats.hh"
 
 namespace el::core
@@ -147,6 +149,49 @@ class Runtime
     bool deliverFault(ia32::State *state, const ia32::Fault &fault,
                       RunResult *result);
 
+    // ----- divergence sentinel (attached via Options::sentinel) ------
+
+    /** How a shadow-checked region ended. */
+    enum class RegionEnd : uint8_t
+    {
+        Boundary, //!< Ordinary dispatch boundary (block exit).
+        Syscall,  //!< Region ended at a syscall gate (pre-service).
+        Fault,    //!< Region ended at a guest fault (pre-delivery).
+    };
+
+    /**
+     * Open a shadow-checked region at @p eip: snapshot architectural
+     * state, arm the memory write journal (runtime area excluded) and
+     * the machine's translation-visit log. Zero simulated cycles.
+     */
+    void armCheckpoint(uint32_t eip);
+
+    /** Close an armed region without verification (halt, breakpoint,
+     *  cycle limit); @p why_stat names the skip counter. */
+    void discardCheckpoint(const char *why_stat);
+
+    /**
+     * Close an armed region WITH verification: rewind memory to the
+     * checkpoint, replay the region through the interpreter oracle, and
+     * compare final architectural state + net memory effect against the
+     * machine's (@p mstate, whose eip is the region end). On a pass the
+     * machine's execution is reinstated byte-exactly and true returns.
+     * On a divergence every translation the region visited is
+     * quarantined, state and memory roll back to the checkpoint, and
+     * false returns — the caller resumes at the checkpoint EIP (where
+     * the sentinel's interpret gate now routes to the oracle).
+     */
+    bool finishRegionCheck(RegionEnd kind, const ia32::State &mstate,
+                           uint8_t vector, const ia32::Fault *fault);
+
+    /** The interpreter replay; true when it reproduced the machine. */
+    bool replayMatches(RegionEnd kind, const ia32::State &mstate,
+                       uint8_t vector, const ia32::Fault *fault,
+                       mem::WriteJournal *replay_journal);
+
+    /** Quarantine every artifact in the visit log; log the event. */
+    void quarantineRegion(uint32_t end_eip);
+
     mem::Memory &mem_;
     btlib::BtOsClient btos_;
     Options options_;
@@ -162,6 +207,17 @@ class Runtime
     uint64_t dispatch_lookups_ = 0; //!< dispatchEntry() calls (sampled
                                     //!< by the profiler time series).
     double fault_overhead_cycles_ = 0;
+
+    // Divergence-sentinel checkpoint state. All dead weight when
+    // sentinel_ is null (one branch per dispatch, zero cycles).
+    sentinel::Sentinel *sentinel_ = nullptr; //!< From Options; null = off.
+    bool ck_armed_ = false;      //!< A shadow-checked region is open.
+    uint32_t ck_eip_ = 0;        //!< Region entry (rollback target).
+    ia32::State ck_state_;       //!< Architectural state at the entry.
+    mem::WriteJournal journal_;  //!< Machine-side writes of the region.
+    static constexpr size_t sentinel_visit_capacity = 128;
+    BoundedRing<int32_t> visit_log_{sentinel_visit_capacity,
+                                    RingPolicy::DropNewest};
 
     // Declared last on purpose: destruction joins the worker threads
     // before anything they reference (translator_, options_, the fault

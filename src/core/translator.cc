@@ -3,6 +3,7 @@
 #include "ia32/decoder.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
+#include "support/sentinel.hh"
 #include "support/trace.hh"
 
 namespace el::core
@@ -227,16 +228,62 @@ Translator::discardHotBlock(BlockInfo *block)
 }
 
 void
+Translator::quarantineBlock(BlockInfo *block)
+{
+    if (!block || block->invalidated)
+        return;
+    block->invalidated = true;
+    if (block->cache_entry >= 0)
+        cache_.invalidateEntry(block->cache_entry, ExitReason::Resync,
+                               block->entry_eip);
+    stats.add("sentinel.blocks_quarantined");
+    if (trace_)
+        trace_->instant("quarantine", trace::Cat::Cache, 0, trace_now_(),
+                        {{"block", block->id},
+                         {"eip",
+                          static_cast<int64_t>(block->entry_eip)}});
+}
+
+bool
+Translator::corruptTranslation(ipf::CodeCache &cache, int64_t lo,
+                               int64_t hi,
+                               const std::function<uint64_t(uint64_t)> &pick)
+{
+    // Candidates are immediate-carrying ALU/move ops: flipping their low
+    // imm bit yields code that still schedules, links, and runs — the
+    // silent-wrong-value failure mode, not a crash.
+    std::vector<int64_t> candidates;
+    for (int64_t i = lo; i < hi; ++i) {
+        const ipf::Instr &in = cache.at(i);
+        if (in.op == IpfOp::AddImm || in.op == IpfOp::CmpImm ||
+            in.op == IpfOp::ShlImm || in.op == IpfOp::Movl)
+            candidates.push_back(i);
+    }
+    if (candidates.empty())
+        return false;
+    int64_t victim = candidates[pick(candidates.size())];
+    cache.at(victim).imm ^= 1;
+    return true;
+}
+
+void
 Translator::invalidateRange(uint32_t addr, uint32_t len)
 {
     int64_t dropped = 0;
     for (auto &bp : blocks_) {
         BlockInfo &b = *bp;
-        if (b.invalidated)
+        if (b.invalidated || b.cache_entry < 0)
             continue;
         // Conservative: invalidate blocks whose entry lies in the range
-        // or that were translated from code marked on those pages.
-        if (b.entry_eip >= addr && b.entry_eip < addr + len) {
+        // or that carry any instruction translated from those bytes —
+        // a hot trace that inlined a patched callee has a different
+        // entry EIP but still executes the stale code.
+        bool hit = b.entry_eip >= addr && b.entry_eip < addr + len;
+        for (int64_t i = b.cache_entry; !hit && i < b.cache_end; ++i) {
+            uint32_t ip = cache_.at(i).meta.ia32_ip;
+            hit = ip >= addr && ip < addr + len;
+        }
+        if (hit) {
             b.invalidated = true;
             cache_.invalidateEntry(b.cache_entry, ExitReason::Resync,
                                    b.entry_eip);
@@ -467,7 +514,15 @@ Translator::translateCold(uint32_t eip, const SpecContext &spec,
         return nullptr;
     }
     maybeFlushForRoom();
-    return translateColdImpl(eip, spec, stage, true);
+    BlockInfo *info = translateColdImpl(eip, spec, stage, true);
+    if (info && info->cache_entry >= 0 &&
+        faultInjected(FaultSite::Miscompile)) {
+        FaultInjector *fi = activeFaultInjector();
+        if (corruptTranslation(cache_, info->cache_entry, info->cache_end,
+                               [fi](uint64_t n) { return fi->pick(n); }))
+            stats.add("xlate.miscompiles_injected");
+    }
+    return info;
 }
 
 BlockInfo *
@@ -720,6 +775,7 @@ Translator::prepareHotInput(uint32_t entry_eip, const SpecContext &spec,
     out->trace.clear();
     out->policies.clear();
     out->covered_eips.clear();
+    out->smc_guards.clear();
 
     bool any_misalign_history = false;
     for (const auto &[beip, h] : misalign_)
@@ -746,6 +802,21 @@ Translator::prepareHotInput(uint32_t entry_eip, const SpecContext &spec,
         }
         if (ti >= 1)
             out->covered_eips.push_back(bb->start);
+        // A constituent block on a writable page needs its SMC guard
+        // carried into the hot trace, or a guest patch to the inlined
+        // code would execute stale translations forever. The byte
+        // snapshot happens here, on the main thread, so worker sessions
+        // never race guest stores.
+        if (mem_.check(bb->start, 1, mem::PermWrite)) {
+            bool dup = false;
+            for (const auto &[addr, bytes] : out->smc_guards)
+                dup = dup || addr == bb->start;
+            if (!dup) {
+                uint64_t bytes = 0;
+                mem_.readPriv(bb->start, 8, &bytes);
+                out->smc_guards.emplace_back(bb->start, bytes);
+            }
+        }
     }
     return true;
 }
@@ -886,6 +957,10 @@ Translator::runHotSession(const HotSessionInput &in,
 
     // Head: guards only (hot blocks carry no use counters).
     env.beginHead();
+    for (const auto &[addr, bytes] : in.smc_guards) {
+        env.emitSmcGuard(addr, bytes, 8);
+        info->smc_guarded = true;
+    }
     env.emitFpGuard(&info->guard);
     env.emitMmxGuard(&info->guard);
     env.emitXmmGuard(&info->guard);
@@ -902,6 +977,17 @@ Translator::runHotSession(const HotSessionInput &in,
     out->stats.add("fxch.eliminated", env.fxch_eliminated);
     out->stats.add("xlate.hot_trace_blocks",
                    static_cast<uint64_t>(trace.size()) * in.copies);
+    if (faults && faults->shouldFire(FaultSite::Miscompile)) {
+        // Worker-side miscompile: corrupt the private staging cache
+        // before publication, from the per-candidate stream so the
+        // victim choice is independent of worker count and scheduling.
+        if (corruptTranslation(out->staging, info->cache_entry,
+                               info->cache_end,
+                               [faults](uint64_t n) {
+                                   return faults->pick(n);
+                               }))
+            out->stats.add("xlate.miscompiles_injected");
+    }
     out->ok = true;
 }
 
@@ -915,6 +1001,17 @@ Translator::commitHotArtifact(HotArtifact &art)
             stats.add("hot.aborted");
         // A failed session still carries partial counters (e.g. the
         // sched.failures that killed it).
+        stats.merge(art.stats);
+        return nullptr;
+    }
+
+    if (options.sentinel &&
+        options.sentinel->isQuarantined(art.proto.entry_eip)) {
+        // The sentinel convicted this EIP while the session was in
+        // flight (or its quarantine has not been served yet): refuse
+        // publication; the interpret gate decides when a retranslation
+        // may happen, and it must start cold.
+        stats.add("hot.quarantine_blocked");
         stats.merge(art.stats);
         return nullptr;
     }
@@ -1026,6 +1123,12 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
     runHotSession(input, options, /*faults=*/nullptr, &art);
 
     BlockInfo *info = commitHotArtifact(art);
+    if (info && faultInjected(FaultSite::Miscompile)) {
+        FaultInjector *fi = activeFaultInjector();
+        if (corruptTranslation(cache_, info->cache_entry, info->cache_end,
+                               [fi](uint64_t n) { return fi->pick(n); }))
+            stats.add("xlate.miscompiles_injected");
+    }
     if (info) {
         // Synchronous sessions stall the guest for the whole
         // optimization: the full cost is both overhead and hot stall.

@@ -128,6 +128,15 @@ class Translator
     /** Invalidate a hot block after a stage-3 misalignment event. */
     void discardHotBlock(BlockInfo *block);
 
+    /**
+     * Blacklist a translation the divergence sentinel convicted (or
+     * whose fault/guard counters crossed the quarantine threshold).
+     * The entry becomes a Resync exit, so stale links re-enter the
+     * runtime; the sentinel's interpret gate keeps the EIP on the
+     * interpreter until its cooldown allows a fresh cold translation.
+     */
+    void quarantineBlock(BlockInfo *block);
+
     /** Drop every translation overlapping [addr, addr+len) (SMC). */
     void invalidateRange(uint32_t addr, uint32_t len);
 
@@ -286,6 +295,18 @@ class Translator
 
     /** finishInto against the shared cache + immediate stat merge. */
     bool finishBlock(EmitEnv &env, BlockInfo *info, bool reorder);
+
+    /**
+     * Miscompile injection: flip the low immediate bit of one emitted
+     * instruction in [@p lo, @p hi) of @p cache, chosen by @p pick
+     * (a deterministic uniform pick in [0, n)). The translation stays
+     * structurally valid — it runs, and computes subtly wrong values —
+     * which is exactly the failure class only the divergence sentinel
+     * can catch. Returns false when the range has no candidate.
+     */
+    static bool corruptTranslation(ipf::CodeCache &cache, int64_t lo,
+                                   int64_t hi,
+                                   const std::function<uint64_t(uint64_t)> &pick);
 
     /** Select the hot trace starting at @p eip. */
     std::vector<const BasicBlock *>

@@ -80,7 +80,7 @@ emitYield(Assembler &as, OsAbi abi)
 
 Workload
 finish(const std::string &name, const char *kernel, WorkloadParams p,
-       Assembler &as, uint32_t data_size)
+       Assembler &as, uint32_t data_size, bool writable_code = false)
 {
     Workload w;
     w.name = name;
@@ -88,9 +88,25 @@ finish(const std::string &name, const char *kernel, WorkloadParams p,
     w.params = p;
     w.image.name = name;
     w.image.entry = as.base();
-    w.image.addCode(as.base(), as.finish());
+    w.image.addCode(as.base(), as.finish(), writable_code);
     w.image.addData(Layout::data_base, data_size);
     return w;
+}
+
+/** register_handler(eip) under either personality. */
+void
+emitSetHandler(Assembler &as, OsAbi abi, uint32_t handler_eip)
+{
+    if (abi == OsAbi::Linux) {
+        as.movRI(RegEax, btlib::linux_abi::nr_set_handler);
+        as.movRI(RegEbx, handler_eip);
+        as.intN(btlib::linux_abi::int_vector);
+    } else {
+        as.movRI(RegEdx, scratch_abi);
+        as.movMI(memb(RegEdx, 0), handler_eip);
+        as.movRI(RegEax, btlib::windows_abi::nr_set_handler);
+        as.intN(btlib::windows_abi::int_vector);
+    }
 }
 
 } // namespace
@@ -566,6 +582,193 @@ buildOfficeApp(const std::string &name, WorkloadParams p)
     return buildBigCode(name, p);
 }
 
+Workload
+buildSignalStorm(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    Label start = as.label(), resume = as.label();
+    as.jmp(start);
+
+    // Exception handler. Delivery puts kind/addr/eip in eax/ebx/ecx;
+    // everything else must still hold the interrupted values. Fold all
+    // three into the EBP checksum so an imprecise delivered state (or a
+    // wrong resume) changes the exit code.
+    while (as.pc() % 16)
+        as.nop();
+    uint32_t handler_pc = as.pc();
+    as.aluRR(Op::Add, RegEbp, RegEcx);
+    as.aluRR(Op::Xor, RegEbp, RegEax);
+    as.aluRR(Op::Add, RegEbp, RegEbx);
+    as.shiftRI(Op::Rol, RegEbp, 1);
+    as.jmp(resume);
+
+    as.bind(start);
+    emitSetHandler(as, p.abi, handler_pc);
+    as.movRI(RegEbp, 0);          // checksum
+    as.movRI(RegEdx, 0x1234567);  // LCG state, live across faults
+    as.movRI(RegEdi, p.outer_iters);
+    Label outer = as.label();
+    as.bind(outer);
+    as.movRI(RegEsi, p.size);
+    Label inner = as.label();
+    as.bind(inner);
+    // LCG step in EDX (the handler must not disturb it).
+    as.movRI(RegEax, 1103515245);
+    as.imulRR(RegEdx, RegEax);
+    as.aluRI(Op::Add, RegEdx, 12345);
+    // Every 4th iteration: fault from the middle of the block, with
+    // EDX updates in flight so precise reconstruction is load-bearing.
+    as.testRI(RegEsi, 3);
+    as.jcc(Cond::NE, resume);
+    as.aluRI(Op::Add, RegEdx, 0x111);
+    as.shiftRI(Op::Rol, RegEdx, 3);
+    as.movRI(RegEbx, 0x40);       // unmapped near-null page
+    as.movRM(RegEax, memb(RegEbx, 0)); // #PF -> handler -> resume
+    as.bind(resume);
+    as.aluRR(Op::Add, RegEbp, RegEdx);
+    as.decR(RegEsi);
+    as.jcc(Cond::NE, inner);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, outer);
+    as.movRR(RegEax, RegEbp);
+    emitExit(as, p.abi);
+    return finish(name, "signal_storm", p, as, 0x10000);
+}
+
+Workload
+buildJitRewriter(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    Label start = as.label();
+    as.jmp(start);
+
+    // The "jitted" function: add eax, imm32 ; ret (the long 81 /0
+    // form — the initial immediate is wide on purpose). The imm32
+    // lives at jit_pc + 2 and is rewritten every phase.
+    while (as.pc() % 16)
+        as.nop();
+    uint32_t jit_pc = as.pc();
+    as.aluRI(Op::Add, RegEax, 0x11111111);
+    as.ret();
+
+    as.bind(start);
+    as.movRI(RegEsi, 0);               // checksum
+    as.movRI(RegEdi, p.outer_iters);   // phases
+    Label phase = as.label();
+    as.bind(phase);
+    // Rewrite the immediate from the phase counter (SMC on code the
+    // previous phase made hot).
+    as.movRR(RegEax, RegEdi);
+    as.shiftRI(Op::Shl, RegEax, 8);
+    as.aluRR(Op::Add, RegEax, RegEdi);
+    as.movRI(RegEbx, jit_pc + 2);
+    as.movMR(memb(RegEbx, 0), RegEax);
+    // Call it in a loop long enough to re-heat every phase.
+    as.movRI(RegEcx, p.size);
+    as.movRI(RegEax, 0);
+    Label calls = as.label();
+    as.bind(calls);
+    as.callAbs(jit_pc);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, calls);
+    as.aluRR(Op::Add, RegEsi, RegEax);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, phase);
+    as.movRR(RegEax, RegEsi);
+    emitExit(as, p.abi);
+    return finish(name, "jit_rewriter", p, as, 0x10000,
+                  /*writable_code=*/true);
+}
+
+Workload
+buildThreadedSmc(const std::string &name, WorkloadParams p)
+{
+    Assembler as(Layout::code_base);
+    // Cooperative threads with real context switches: each thread has
+    // its own stack; a switch saves ESP into the outgoing slot, loads
+    // the incoming slot and RETs into the other thread.
+    constexpr uint32_t ctx_a = Layout::data_base + 0xf000;
+    constexpr uint32_t ctx_b = Layout::data_base + 0xf004;
+    constexpr uint32_t b_counter = Layout::data_base + 0xf008;
+    constexpr uint32_t stack_b = Layout::data_base + 0xe000;
+
+    Label start = as.label();
+    as.jmp(start);
+
+    // Shared function both threads see: add eax, imm32 ; ret (long
+    // 81 /0 form; imm32 at shared_pc + 2). Thread B rewrites the
+    // immediate while thread A runs the function hot.
+    while (as.pc() % 16)
+        as.nop();
+    uint32_t shared_pc = as.pc();
+    as.aluRI(Op::Add, RegEax, 0x11111111);
+    as.ret();
+
+    // yield_ab: A -> B (called from A; stack top is A's resume EIP).
+    while (as.pc() % 16)
+        as.nop();
+    uint32_t yield_ab_pc = as.pc();
+    as.movRI(RegEbx, ctx_a);
+    as.movMR(memb(RegEbx, 0), RegEsp);
+    as.movRI(RegEbx, ctx_b);
+    as.movRM(RegEsp, memb(RegEbx, 0));
+    as.ret();
+
+    // yield_ba: B -> A.
+    while (as.pc() % 16)
+        as.nop();
+    uint32_t yield_ba_pc = as.pc();
+    as.movRI(RegEbx, ctx_b);
+    as.movMR(memb(RegEbx, 0), RegEsp);
+    as.movRI(RegEbx, ctx_a);
+    as.movRM(RegEsp, memb(RegEbx, 0));
+    as.ret();
+
+    // Thread B: rewrite the shared function's immediate, bump a
+    // counter, yield back. Runs forever; dies with the process.
+    while (as.pc() % 16)
+        as.nop();
+    uint32_t thread_b_pc = as.pc();
+    Label b_loop = as.label();
+    as.bind(b_loop);
+    as.movRI(RegEbx, b_counter);
+    as.movRM(RegEax, memb(RegEbx, 0));
+    as.aluRI(Op::Add, RegEax, 0x111);
+    as.movMR(memb(RegEbx, 0), RegEax);
+    as.movRI(RegEbx, shared_pc + 2);
+    as.movMR(memb(RegEbx, 0), RegEax); // SMC on the shared page
+    as.callAbs(yield_ba_pc);
+    as.jmp(b_loop);
+
+    // Thread A (the main thread).
+    as.bind(start);
+    as.movRI(RegEbx, stack_b - 4);     // B's stack: one frame, its entry
+    as.movMI(memb(RegEbx, 0), thread_b_pc);
+    as.movRI(RegEdx, ctx_b);
+    as.movMR(memb(RegEdx, 0), RegEbx);
+    as.movRI(RegEsi, 0);               // checksum
+    as.movRI(RegEdi, p.outer_iters);   // slices
+    Label slice = as.label();
+    as.bind(slice);
+    as.movRI(RegEcx, p.size);          // shared-fn calls per slice
+    as.movRI(RegEax, 0);
+    Label calls = as.label();
+    as.bind(calls);
+    as.callAbs(shared_pc);
+    as.decR(RegEcx);
+    as.jcc(Cond::NE, calls);
+    as.aluRR(Op::Add, RegEsi, RegEax);
+    as.callAbs(yield_ab_pc);
+    as.decR(RegEdi);
+    as.jcc(Cond::NE, slice);
+    as.movRI(RegEbx, b_counter);
+    as.aluRM(Op::Add, RegEsi, memb(RegEbx, 0));
+    as.movRR(RegEax, RegEsi);
+    emitExit(as, p.abi);
+    return finish(name, "threaded_smc", p, as, 0x10000,
+                  /*writable_code=*/true);
+}
+
 std::vector<Workload>
 specIntSuite(OsAbi abi)
 {
@@ -671,6 +874,33 @@ sysmarkSuite(OsAbi abi)
     suite.push_back(app("wordproc", 4000, 300, 1, 1));
     suite.push_back(app("spreadsheet", 4600, 260, 1, 1));
     suite.push_back(app("browser", 3000, 380, 2, 2));
+    return suite;
+}
+
+std::vector<Workload>
+adversarialSuite()
+{
+    std::vector<Workload> suite;
+    {
+        WorkloadParams p;
+        p.outer_iters = 30;
+        p.size = 256;
+        suite.push_back(buildSignalStorm("sigstorm", p));
+        p.abi = OsAbi::Windows;
+        suite.push_back(buildSignalStorm("sigstorm_win", p));
+    }
+    {
+        WorkloadParams p;
+        p.outer_iters = 24;   // rewrite phases
+        p.size = 300;         // calls per phase (re-heats every phase)
+        suite.push_back(buildJitRewriter("jit_rewriter", p));
+    }
+    {
+        WorkloadParams p;
+        p.outer_iters = 40;   // scheduler slices
+        p.size = 200;         // shared-fn calls per slice
+        suite.push_back(buildThreadedSmc("threaded_smc", p));
+    }
     return suite;
 }
 

@@ -81,6 +81,33 @@ Workload buildMmxKernel(const std::string &name, WorkloadParams p);
 /** Sysmark-like application: big code + kernel time + idle. */
 Workload buildOfficeApp(const std::string &name, WorkloadParams p);
 
+// ----- adversarial personalities (divergence-sentinel chaos suite) ------
+
+/**
+ * Signal storm: registers an exception handler, then faults densely
+ * from the middle of hot blocks (an unmapped load a few instructions
+ * into the loop body). The handler folds the delivered fault kind,
+ * address and EIP into the exit checksum, so any imprecision in
+ * reconstructed state changes the final answer.
+ */
+Workload buildSignalStorm(const std::string &name, WorkloadParams p);
+
+/**
+ * JIT-style guest: a code page it keeps rewriting. Each phase patches
+ * the immediate of a small generated function, then calls it in a loop
+ * long enough to re-heat — a stale translation (missed SMC
+ * invalidation) computes a visibly wrong checksum.
+ */
+Workload buildJitRewriter(const std::string &name, WorkloadParams p);
+
+/**
+ * Two cooperative threads (real context switches via per-thread
+ * stacks) sharing one writable code page: thread A runs the shared
+ * function hot while thread B rewrites its immediate every slice —
+ * SMC invalidation racing hot-trace selection and the async pipeline.
+ */
+Workload buildThreadedSmc(const std::string &name, WorkloadParams p);
+
 // ----- suites ------------------------------------------------------------
 
 /** The 12 SPEC CPU2000 INT stand-ins, in Figure 5 order. */
@@ -91,6 +118,10 @@ std::vector<Workload> specFpSuite(btlib::OsAbi abi = btlib::OsAbi::Linux);
 
 /** The Sysmark-like application set (Figure 7 / Figure 8). */
 std::vector<Workload> sysmarkSuite(btlib::OsAbi abi = btlib::OsAbi::Windows);
+
+/** The adversarial personalities: signal storm under both OS
+ *  personalities, the JIT rewriter, and the threaded SMC guest. */
+std::vector<Workload> adversarialSuite();
 
 } // namespace el::guest
 

@@ -74,8 +74,12 @@ runTranslated(const guest::Image &image, btlib::OsAbi abi,
     run.os = makeOs(abi, *run.memory);
     run.runtime = std::make_unique<core::Runtime>(
         *run.memory, run.os->vtable(), options);
-    el_assert(run.runtime->initOk(), "BTOS handshake failed: %s",
-              run.runtime->initError().c_str());
+    if (!run.runtime->initOk()) {
+        run.outcome.internal_error = true;
+        run.outcome.internal_reason =
+            "BTOS handshake failed: " + run.runtime->initError();
+        return run;
+    }
     run.os->setCycleSink([rt = run.runtime.get()](ipf::Bucket b,
                                                   double c) {
         rt->machine().chargeCycles(b, c);
@@ -96,7 +100,13 @@ runTranslated(const guest::Image &image, btlib::OsAbi abi,
         out.faulted = true;
         out.fault = rr.fault;
         break;
-      default:
+      case core::RunResult::Kind::CycleLimit:
+        out.internal_error = true;
+        out.internal_reason = "simulation cycle budget exhausted";
+        break;
+      case core::RunResult::Kind::InitError:
+        out.internal_error = true;
+        out.internal_reason = "BTOS handshake failed";
         break;
     }
     out.console = run.os->consoleOutput();

@@ -33,6 +33,10 @@ struct Outcome
     int32_t exit_code = 0;
     bool faulted = false;     //!< Terminated by an unhandled fault.
     ia32::Fault fault{};
+    bool internal_error = false; //!< Translator-side failure, not the
+                                 //!< guest's: BTOS handshake (InitError)
+                                 //!< or simulation budget (CycleLimit).
+    std::string internal_reason; //!< Human-readable cause when set.
     std::string console;      //!< Captured guest output.
     ia32::State final_state;  //!< Architectural state at termination.
     uint64_t guest_insns = 0; //!< IA-32 instructions retired (interp) or

@@ -20,16 +20,31 @@
 #include <string>
 #include <vector>
 
+#include "btlib/abi.hh"
 #include "core/report.hh"
 #include "guest/workloads.hh"
+#include "ia32/assembler.hh"
 #include "harness/exec.hh"
 #include "support/profile.hh"
+#include "support/sentinel.hh"
 #include "support/trace.hh"
 
 namespace
 {
 
 using namespace el;
+
+// Exit codes (documented in README.md). They answer "whose fault was
+// it": the caller's (usage), the environment's (I/O), the guest's
+// (fault), the translator's (internal), or a caught miscompile
+// (divergence — the sentinel's verdict takes precedence because it
+// means translated execution was wrong, whatever else happened).
+constexpr int exit_ok = 0;
+constexpr int exit_usage = 1;
+constexpr int exit_io = 2;
+constexpr int exit_guest_fault = 10;
+constexpr int exit_internal = 20;
+constexpr int exit_divergence = 30;
 
 void
 usage()
@@ -47,8 +62,13 @@ usage()
         "  --fault=<site>:<p>     fire <site> with p/1024 probability\n"
         "                         (sites: btos_alloc, cold_xlate_abort,\n"
         "                         hot_xlate_abort, cache_exhaust,\n"
-        "                         guest_fault_storm)\n"
+        "                         guest_fault_storm, miscompile)\n"
         "  --fault-seed=<n>       fault-injection PRNG seed\n"
+        "  --selfcheck=<rate>     shadow-execute every <rate>-th\n"
+        "                         dispatched region through the\n"
+        "                         interpreter oracle; divergences\n"
+        "                         quarantine the translation and el_run\n"
+        "                         exits 30 (1 = check everything)\n"
         "  --trace-out=<file>     write Chrome trace-event JSON\n"
         "  --report-json=<file>   write the machine-readable run report\n"
         "  --profile-out=<file>   write the execution profile JSON\n"
@@ -62,6 +82,31 @@ usage()
         "  --validate-trace=<f>   validate a trace file and exit\n");
 }
 
+/**
+ * Diagnostic guest that dereferences an unmapped address with no
+ * handler registered: terminates on an unhandled page fault. Exists so
+ * the CLI tests (and users) can exercise the guest-failure exit code
+ * without fault injection.
+ */
+guest::Workload
+buildFaulter()
+{
+    ia32::Assembler as(guest::Layout::code_base);
+    as.movRI(ia32::RegEbx, 0x40); // unmapped low page
+    as.movRM(ia32::RegEax, ia32::memb(ia32::RegEbx, 0));
+    as.movRI(ia32::RegEax, 0);
+    as.intN(btlib::linux_abi::int_vector); // never reached
+
+    guest::Workload w;
+    w.name = "faulter";
+    w.kernel = "diagnostic";
+    w.image.name = "faulter";
+    w.image.entry = guest::Layout::code_base;
+    w.image.addCode(guest::Layout::code_base, as.finish());
+    w.image.addData(guest::Layout::data_base, 0x1000);
+    return w;
+}
+
 std::vector<guest::Workload>
 allWorkloads()
 {
@@ -70,6 +115,9 @@ allWorkloads()
         all.push_back(std::move(w));
     for (auto &w : guest::sysmarkSuite())
         all.push_back(std::move(w));
+    for (auto &w : guest::adversarialSuite())
+        all.push_back(std::move(w));
+    all.push_back(buildFaulter());
     return all;
 }
 
@@ -92,7 +140,7 @@ validateTraceFile(const std::string &path)
     std::ifstream f(path, std::ios::binary);
     if (!f) {
         std::fprintf(stderr, "el_run: cannot read %s\n", path.c_str());
-        return 2;
+        return exit_io;
     }
     std::ostringstream ss;
     ss << f.rdbuf();
@@ -100,10 +148,10 @@ validateTraceFile(const std::string &path)
     if (!trace::validateChromeTrace(ss.str(), &error)) {
         std::fprintf(stderr, "el_run: %s: invalid trace: %s\n",
                      path.c_str(), error.c_str());
-        return 2;
+        return exit_io;
     }
     std::printf("%s: valid Chrome trace\n", path.c_str());
-    return 0;
+    return exit_ok;
 }
 
 } // namespace
@@ -115,6 +163,7 @@ main(int argc, char **argv)
     std::string trace_out, report_json, profile_out;
     core::Options options;
     prof::Config prof_cfg;
+    sentinel::Config sentinel_cfg;
     bool list = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -152,13 +201,16 @@ main(int argc, char **argv)
                 !parseFaultSite(spec.substr(0, colon), &site)) {
                 std::fprintf(stderr, "el_run: bad --fault spec '%s'\n",
                              v);
-                return 1;
+                return exit_usage;
             }
             options.fault.site(
                 site, static_cast<uint16_t>(
                           std::atoi(spec.c_str() + colon + 1)));
         } else if (const char *v = value("--fault-seed=")) {
             options.fault.seed = static_cast<uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--selfcheck=")) {
+            sentinel_cfg.selfcheck_rate =
+                static_cast<uint32_t>(std::atoi(v));
         } else if (const char *v = value("--trace-out=")) {
             trace_out = v;
         } else if (const char *v = value("--report-json=")) {
@@ -177,12 +229,12 @@ main(int argc, char **argv)
             return validateTraceFile(v);
         } else if (arg == "--help") {
             usage();
-            return 0;
+            return exit_ok;
         } else {
             std::fprintf(stderr, "el_run: unknown argument '%s'\n",
                          arg.c_str());
             usage();
-            return 1;
+            return exit_usage;
         }
     }
 
@@ -206,7 +258,7 @@ main(int argc, char **argv)
                      "el_run: unknown workload '%s' (--list shows "
                      "the suite)\n",
                      workload_name.c_str());
-        return 1;
+        return exit_usage;
     }
 
     trace::Tracer tracer;
@@ -220,6 +272,9 @@ main(int argc, char **argv)
         // The annotated per-block view joins IPF translation costs.
         options.collect_block_cycles = true;
     }
+    sentinel::Sentinel sentinel(sentinel_cfg);
+    if (sentinel_cfg.selfcheck_rate > 0)
+        options.sentinel = &sentinel;
 
     harness::TranslatedRun run =
         harness::runTranslated(wl->image, wl->params.abi, options);
@@ -228,7 +283,7 @@ main(int argc, char **argv)
         if (!tracer.writeChromeJson(trace_out)) {
             std::fprintf(stderr, "el_run: cannot write %s\n",
                          trace_out.c_str());
-            return 2;
+            return exit_io;
         }
         std::printf("trace:  %s (%zu events, %llu dropped)\n",
                     trace_out.c_str(), tracer.snapshot().size(),
@@ -239,7 +294,7 @@ main(int argc, char **argv)
                                   report_json)) {
             std::fprintf(stderr, "el_run: cannot write %s\n",
                          report_json.c_str());
-            return 2;
+            return exit_io;
         }
         std::printf("report: %s\n", report_json.c_str());
     }
@@ -248,7 +303,7 @@ main(int argc, char **argv)
                                 profile_out)) {
             std::fprintf(stderr, "el_run: cannot write %s\n",
                          profile_out.c_str());
-            return 2;
+            return exit_io;
         }
         std::printf("profile: %s (%llu events, %zu samples)\n",
                     profile_out.c_str(),
@@ -264,5 +319,42 @@ main(int argc, char **argv)
                 "native=%.0f idle=%.0f\n",
                 attr.cold_code, attr.hot_code, attr.btgeneric,
                 attr.fault_handling, attr.native, attr.idle);
-    return run.outcome.exited ? 0 : 3;
+    if (options.sentinel) {
+        const el::StatGroup &st = run.runtime->stats();
+        std::printf("  selfcheck: rate=1/%u regions=%llu checked=%llu "
+                    "passed=%llu divergences=%llu quarantined=%llu\n",
+                    sentinel_cfg.selfcheck_rate,
+                    static_cast<unsigned long long>(
+                        sentinel.regionsSeen()),
+                    static_cast<unsigned long long>(
+                        st.get("sentinel.checked")),
+                    static_cast<unsigned long long>(
+                        st.get("sentinel.passed")),
+                    static_cast<unsigned long long>(
+                        sentinel.totalDivergences()),
+                    static_cast<unsigned long long>(
+                        run.runtime->translator().stats.get(
+                            "sentinel.blocks_quarantined")));
+        for (const sentinel::DivergenceInfo &d : sentinel.divergences())
+            std::printf("  divergence: region=%llu checkpoint=%#x "
+                        "boundary=%#x block=%d ip=[%#x,%#x)\n",
+                        static_cast<unsigned long long>(d.region_index),
+                        d.checkpoint_eip, d.boundary_eip, d.first_block,
+                        d.ip_lo, d.ip_hi);
+    }
+
+    if (run.outcome.faulted)
+        std::fprintf(stderr, "el_run: guest fault: %s\n",
+                     run.outcome.fault.toString().c_str());
+    if (run.outcome.internal_error)
+        std::fprintf(stderr, "el_run: internal error: %s\n",
+                     run.outcome.internal_reason.c_str());
+
+    if (options.sentinel && sentinel.totalDivergences() > 0)
+        return exit_divergence;
+    if (run.outcome.faulted)
+        return exit_guest_fault;
+    if (!run.outcome.exited)
+        return exit_internal;
+    return exit_ok;
 }

@@ -369,6 +369,10 @@ Machine::run(int64_t entry, uint64_t max_cycles)
         accountInstr(i);
         if (profiler_)
             profileObserve(i);
+        if (visit_log_ && i.meta.block_id != visit_last_) {
+            visit_last_ = i.meta.block_id;
+            visit_log_->push(i.meta.block_id);
+        }
         branched_ = false;
         bool cont = execute(i, &stop);
         ++retired_;

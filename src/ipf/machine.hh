@@ -36,6 +36,7 @@
 #include "ipf/regs.hh"
 #include "mem/cache_model.hh"
 #include "mem/memory.hh"
+#include "support/ring.hh"
 
 namespace el::prof
 {
@@ -223,6 +224,22 @@ class Machine
      */
     void setProfiler(prof::Profiler *p) { profiler_ = p; }
 
+    /**
+     * Attach a translation-block visit log (null detaches). While
+     * attached, the id of every translation block execution enters —
+     * deduplicated against the immediately preceding block — is pushed
+     * into @p log, giving the divergence sentinel the set of artifacts
+     * a checked region executed. Same contract as the profiler hook:
+     * timing untouched, cycle counts bit-identical attached or not,
+     * and the detached path is one predictable branch per instruction.
+     */
+    void
+    setVisitLog(BoundedRing<int32_t> *log)
+    {
+        visit_log_ = log;
+        visit_last_ = -1;
+    }
+
     /** Charge synthetic cycles (translator overhead, native time, idle). */
     void
     chargeCycles(Bucket bucket, double cycles)
@@ -278,6 +295,8 @@ class Machine
     bool grp_open_ = false;
     bool track_blocks_ = false;
     prof::Profiler *profiler_ = nullptr; //!< Null = profiling off.
+    BoundedRing<int32_t> *visit_log_ = nullptr; //!< Null = no log.
+    int32_t visit_last_ = -1; //!< Last block id pushed into the log.
     // Group verification (debug).
     std::array<int8_t, num_grs> grp_gr_writer_{};
     std::array<int8_t, num_frs> grp_fr_writer_{};

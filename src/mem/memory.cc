@@ -106,10 +106,42 @@ Memory::access(uint64_t addr, void *buf, uint64_t len, bool write,
             return {AccessError::Protection, a};
         uint64_t off = a % page_size;
         uint64_t chunk = std::min(len - done, page_size - off);
+        if (journal_ && check_perm &&
+            !(a >= journal_->exclude_lo && a < journal_->exclude_hi)) {
+            // Guest-visible write in an armed journal's view: record
+            // old/new per byte so the sentinel can rewind and replay.
+            const uint8_t *cur = p->data.data() + off;
+            for (uint64_t k = 0; k < chunk; ++k)
+                journal_->entries.push_back(
+                    {a + k, cur[k], src[done + k]});
+        }
         std::memcpy(p->data.data() + off, src + done, chunk);
         done += chunk;
     }
     return {};
+}
+
+void
+Memory::undoJournal(const WriteJournal &journal)
+{
+    el_assert(journal_ != &journal, "undo through an armed journal");
+    for (auto it = journal.entries.rbegin(); it != journal.entries.rend();
+         ++it) {
+        Page *p = find(it->addr);
+        if (p)
+            p->data[it->addr % page_size] = it->old_byte;
+    }
+}
+
+void
+Memory::redoJournal(const WriteJournal &journal)
+{
+    el_assert(journal_ != &journal, "redo through an armed journal");
+    for (const WriteJournal::Entry &e : journal.entries) {
+        Page *p = find(e.addr);
+        if (p)
+            p->data[e.addr % page_size] = e.new_byte;
+    }
 }
 
 AccessResult

@@ -55,6 +55,34 @@ struct AccessResult
     bool ok() const { return error == AccessError::None; }
 };
 
+/**
+ * Byte-granular undo/redo journal of guest-visible writes.
+ *
+ * The divergence sentinel arms one of these over a translated region so
+ * it can (a) rewind memory to the checkpoint for an interpreter replay,
+ * (b) compare the region's net memory effect against the oracle's, and
+ * (c) re-apply the writes when the region verifies. Only *architectural*
+ * stores are recorded — the permission-checked write path the guest
+ * uses — never the runtime's privileged writes (writePriv), and never
+ * writes inside the excluded window (the translator's runtime area,
+ * which emitted glue code updates through guest-permission stores).
+ */
+struct WriteJournal
+{
+    struct Entry
+    {
+        uint64_t addr = 0;
+        uint8_t old_byte = 0; //!< Value before the write.
+        uint8_t new_byte = 0; //!< Value written.
+    };
+
+    std::vector<Entry> entries;
+    uint64_t exclude_lo = 0; //!< [exclude_lo, exclude_hi) not recorded.
+    uint64_t exclude_hi = 0;
+
+    void clear() { entries.clear(); }
+};
+
 /** Sparse paged memory with permissions and code-page bookkeeping. */
 class Memory
 {
@@ -115,6 +143,21 @@ class Memory
     /** Number of mapped pages. */
     size_t mappedPages() const { return pages_.size(); }
 
+    /**
+     * Arm (or with null, disarm) the guest-write journal. At most one
+     * journal is armed at a time; recording costs one predictable
+     * branch per access when disarmed and never changes access results.
+     */
+    void setWriteJournal(WriteJournal *journal) { journal_ = journal; }
+    WriteJournal *writeJournal() { return journal_; }
+
+    /** Rewind every journaled write, newest first (journal disarmed by
+     *  the caller; entries are preserved for a later redo). */
+    void undoJournal(const WriteJournal &journal);
+
+    /** Re-apply every journaled write, oldest first. */
+    void redoJournal(const WriteJournal &journal);
+
   private:
     struct Page
     {
@@ -135,6 +178,7 @@ class Memory
                              bool check_perm, Perm perm) const;
 
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    WriteJournal *journal_ = nullptr; //!< Null = no recording.
 };
 
 } // namespace el::mem

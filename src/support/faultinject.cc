@@ -24,6 +24,8 @@ faultSiteName(FaultSite site)
         return "cache_exhaust";
       case FaultSite::GuestFaultStorm:
         return "guest_fault_storm";
+      case FaultSite::Miscompile:
+        return "miscompile";
       default:
         return "?";
     }
@@ -86,6 +88,17 @@ FaultInjectorScope::~FaultInjectorScope()
 {
     if (installed_)
         g_active_injector = previous_;
+}
+
+FaultSuppressScope::FaultSuppressScope()
+    : suspended_(g_active_injector)
+{
+    g_active_injector = nullptr;
+}
+
+FaultSuppressScope::~FaultSuppressScope()
+{
+    g_active_injector = suspended_;
 }
 
 } // namespace el

@@ -39,6 +39,8 @@ enum class FaultSite : uint8_t
     HotXlateAbort,   //!< Hot optimization session aborts.
     CacheExhaust,    //!< Code cache reports synthetic exhaustion.
     GuestFaultStorm, //!< Spurious transient guest fault (page/div/FP).
+    Miscompile,      //!< Translation succeeds but one emitted bundle is
+                     //!< corrupted (the divergence sentinel's prey).
     NumSites,
 };
 
@@ -204,6 +206,11 @@ class FaultStream
         return parent_->recordStreamFire(site);
     }
 
+    /** Deterministic uniform pick in [0, n) from this stream's PRNG;
+     *  used to choose which emitted instruction a miscompile corrupts.
+     *  Pure function of (config seed, stream id, call order). */
+    uint64_t pick(uint64_t n) { return rng_.range(n); }
+
   private:
     FaultInjector *parent_;
     Rng rng_;
@@ -251,6 +258,25 @@ class FaultInjectorScope
     } owned_;
     FaultInjector *previous_ = nullptr;
     bool installed_ = false;
+};
+
+/**
+ * RAII suppression of the installed injector. The divergence sentinel
+ * wraps its interpreter replays in this: a replay must re-execute the
+ * architectural history exactly, so storm injection must neither
+ * perturb it nor consume the primary injector's accounting.
+ */
+class FaultSuppressScope
+{
+  public:
+    FaultSuppressScope();
+    ~FaultSuppressScope();
+
+    FaultSuppressScope(const FaultSuppressScope &) = delete;
+    FaultSuppressScope &operator=(const FaultSuppressScope &) = delete;
+
+  private:
+    FaultInjector *suspended_ = nullptr;
 };
 
 } // namespace el

@@ -236,11 +236,7 @@ Profiler::maybeSample(double now)
         if (gather_)
             gather_(&s);
         s.profile_events = events_;
-        if (samples_.size() >= cfg_.ring_capacity) {
-            samples_.pop_front();
-            ++samples_dropped_;
-        }
-        samples_.push_back(s);
+        samples_.push(s);
         ++samples_taken_;
         next_sample_due_ += cfg_.sample_period;
     }
@@ -263,7 +259,7 @@ Profiler::counters() const
     g.set("prof.indirect_sites", indirect_sites_.size());
     g.set("prof.topk_evictions", evictions_);
     g.set("prof.samples", samples_taken_);
-    g.set("prof.samples_dropped", samples_dropped_);
+    g.set("prof.samples_dropped", samples_.dropped());
     return g;
 }
 

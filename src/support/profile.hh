@@ -26,11 +26,11 @@
 #define EL_SUPPORT_PROFILE_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <vector>
 
+#include "support/ring.hh"
 #include "support/stats.hh"
 
 namespace el::prof
@@ -147,7 +147,10 @@ struct Config
 class Profiler
 {
   public:
-    explicit Profiler(Config cfg = {}) : cfg_(cfg)
+    explicit Profiler(Config cfg = {})
+        : cfg_(cfg),
+          samples_(cfg.ring_capacity ? cfg.ring_capacity : 1,
+                   RingPolicy::DropOldest)
     {
         if (cfg_.topk == 0)
             cfg_.topk = 1;
@@ -220,8 +223,8 @@ class Profiler
         return indirect_sites_;
     }
 
-    const std::deque<Sample> &samples() const { return samples_; }
-    uint64_t samplesDropped() const { return samples_dropped_; }
+    const BoundedRing<Sample> &samples() const { return samples_; }
+    uint64_t samplesDropped() const { return samples_.dropped(); }
 
     /** Cached canonical block at @p entry; null if never resolved. */
     const GuestBlock *blockAt(uint32_t entry) const
@@ -270,8 +273,9 @@ class Profiler
     uint32_t cursor_ = 0;       //!< Entry of the block being executed.
     bool cursor_valid_ = false;
 
-    std::deque<Sample> samples_;
-    uint64_t samples_dropped_ = 0;
+    /** Drop-oldest: the time series keeps the most recent window
+     *  (the tracer makes the opposite choice; see support/ring.hh). */
+    BoundedRing<Sample> samples_;
     uint64_t samples_taken_ = 0;
     uint64_t next_sample_due_ = 0;
 

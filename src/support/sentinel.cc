@@ -1,0 +1,152 @@
+#include "support/sentinel.hh"
+
+namespace el::sentinel
+{
+
+const char *
+healthName(Health h)
+{
+    switch (h) {
+      case Health::Healthy:
+        return "healthy";
+      case Health::Suspect:
+        return "suspect";
+      case Health::Quarantined:
+        return "quarantined";
+      case Health::Retranslated:
+        return "retranslated";
+    }
+    return "?";
+}
+
+Sentinel::Sentinel(Config cfg)
+    : cfg_(cfg),
+      divergence_log_(cfg.divergence_log_capacity
+                          ? cfg.divergence_log_capacity
+                          : 1,
+                      RingPolicy::DropNewest)
+{
+    if (cfg_.replay_budget == 0)
+        cfg_.replay_budget = 1;
+    if (cfg_.quarantine_cooldown == 0)
+        cfg_.quarantine_cooldown = 1;
+}
+
+bool
+Sentinel::shouldCheck()
+{
+    uint64_t n = regions_seen_++;
+    if (cfg_.selfcheck_rate == 0)
+        return false;
+    return n % cfg_.selfcheck_rate == 0;
+}
+
+bool
+Sentinel::noteFault(uint32_t entry_eip)
+{
+    HealthRecord &r = row(entry_eip);
+    ++r.faults;
+    if (r.state == Health::Healthy && cfg_.fault_suspect_threshold &&
+        r.faults >= cfg_.fault_suspect_threshold)
+        r.state = Health::Suspect;
+    if ((r.state == Health::Healthy || r.state == Health::Suspect ||
+         r.state == Health::Retranslated) &&
+        cfg_.fault_quarantine_threshold &&
+        r.faults >= cfg_.fault_quarantine_threshold) {
+        enterQuarantine(r);
+        r.faults = 0; // A fresh translation starts from a clean count.
+        return true;
+    }
+    return false;
+}
+
+bool
+Sentinel::noteGuardMiss(uint32_t entry_eip)
+{
+    HealthRecord &r = row(entry_eip);
+    ++r.guard_misses;
+    if (r.state == Health::Healthy && cfg_.guard_quarantine_threshold &&
+        r.guard_misses >= cfg_.guard_quarantine_threshold / 2 + 1)
+        r.state = Health::Suspect;
+    if ((r.state == Health::Healthy || r.state == Health::Suspect ||
+         r.state == Health::Retranslated) &&
+        cfg_.guard_quarantine_threshold &&
+        r.guard_misses >= cfg_.guard_quarantine_threshold) {
+        enterQuarantine(r);
+        r.guard_misses = 0;
+        return true;
+    }
+    return false;
+}
+
+void
+Sentinel::noteDivergence(uint32_t entry_eip)
+{
+    ++total_divergences_;
+    HealthRecord &r = row(entry_eip);
+    ++r.divergences;
+    enterQuarantine(r);
+}
+
+void
+Sentinel::enterQuarantine(HealthRecord &r)
+{
+    r.state = Health::Quarantined;
+    if (r.retries >= cfg_.retranslate_limit) {
+        r.pinned = true;
+        r.cooldown_left = 0;
+    } else {
+        r.cooldown_left = cfg_.quarantine_cooldown;
+    }
+}
+
+void
+Sentinel::logDivergence(const DivergenceInfo &info)
+{
+    divergence_log_.push(info);
+}
+
+bool
+Sentinel::isQuarantined(uint32_t eip) const
+{
+    const HealthRecord *r = record(eip);
+    return r && (r->pinned || r->state == Health::Quarantined);
+}
+
+bool
+Sentinel::interpretGate(uint32_t eip) const
+{
+    const HealthRecord *r = record(eip);
+    if (!r)
+        return false;
+    if (r->pinned)
+        return true;
+    return r->state == Health::Quarantined && r->cooldown_left > 0;
+}
+
+void
+Sentinel::tickCooldown(uint32_t eip)
+{
+    auto it = ledger_.find(eip);
+    if (it == ledger_.end())
+        return;
+    HealthRecord &r = it->second;
+    if (r.pinned || r.state != Health::Quarantined)
+        return;
+    if (r.cooldown_left > 0)
+        --r.cooldown_left;
+    if (r.cooldown_left == 0) {
+        // Served its quarantine: allow one fresh cold translation.
+        ++r.retries;
+        r.state = Health::Retranslated;
+    }
+}
+
+const HealthRecord *
+Sentinel::record(uint32_t eip) const
+{
+    auto it = ledger_.find(eip);
+    return it == ledger_.end() ? nullptr : &it->second;
+}
+
+} // namespace el::sentinel

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Divergence sentinel: shadow-execution policy, per-artifact health
+ * ledger, and the translation-quarantine state machine.
+ *
+ * The paper's two-phase design assumes translations are correct; this
+ * module is the runtime's way of *noticing* when one is not and
+ * surviving it. The runtime (core/runtime.cc) checkpoints architectural
+ * state at dispatch boundaries and — on a sampled subset of translated
+ * regions — replays the region through the reference interpreter,
+ * comparing final state and the net memory effect. This class holds
+ * everything about that mechanism that is pure bookkeeping:
+ *
+ *  - the sampling decision (check every Nth region, deterministic —
+ *    a counter, never wall clock, so runs are bit-identical across
+ *    `translation_threads`);
+ *  - the per-artifact health ledger keyed by translation entry EIP
+ *    (divergence / fault / guard-mispredict counters);
+ *  - the quarantine state machine:
+ *
+ *        Healthy -> Suspect -> Quarantined -> Retranslated
+ *                      \________________^          |
+ *                       (divergence goes           v
+ *                        straight to Q)     back to Q on relapse,
+ *                                           pinned to the interpreter
+ *                                           after bounded retries
+ *
+ * Like the tracer and profiler, the sentinel is attached through a
+ * non-owned `Options` pointer: when detached every hook is one
+ * predictable branch, no simulated cycle is ever charged to it, and
+ * counters/cycles are bit-identical with the sentinel attached or not
+ * (as long as nothing diverges — after a divergence the sentinel
+ * *changes* execution, which is its entire point).
+ */
+
+#ifndef EL_SUPPORT_SENTINEL_HH
+#define EL_SUPPORT_SENTINEL_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "support/ring.hh"
+#include "support/stats.hh"
+
+namespace el::sentinel
+{
+
+/** Health of one translation artifact (keyed by entry EIP). */
+enum class Health : uint8_t
+{
+    Healthy,      //!< No adverse evidence.
+    Suspect,      //!< Fault/guard counters crossed the first threshold.
+    Quarantined,  //!< Blacklisted: invalidated, runs via interpreter.
+    Retranslated, //!< Served its quarantine; a fresh cold translation
+                  //!< is allowed (relapses return to Quarantined).
+};
+
+const char *healthName(Health h);
+
+/** Ledger row: everything known about one artifact's behavior. */
+struct HealthRecord
+{
+    Health state = Health::Healthy;
+    uint32_t divergences = 0;    //!< Shadow-execution mismatches.
+    uint32_t faults = 0;         //!< Guest faults raised inside it.
+    uint32_t guard_misses = 0;   //!< Speculation-guard mispredicts.
+    uint32_t retries = 0;        //!< Quarantine -> retranslate cycles.
+    uint64_t cooldown_left = 0;  //!< Dispatches to serve under the
+                                 //!< interpreter before retranslation.
+    bool pinned = false;         //!< Bounded retries exhausted: this
+                                 //!< EIP executes interpreted forever.
+};
+
+/** One detected divergence, kept for reporting/debugging. */
+struct DivergenceInfo
+{
+    uint32_t checkpoint_eip = 0; //!< Region entry (rollback target).
+    uint32_t boundary_eip = 0;   //!< Where the region claimed to end.
+    int32_t first_block = -1;    //!< First quarantined translation id.
+    uint32_t ip_lo = 0;          //!< IA-32 ip range covered by the
+    uint32_t ip_hi = 0;          //!< quarantined artifacts.
+    uint64_t region_index = 0;   //!< Which region (sampling counter).
+};
+
+/** Sentinel tunables. All deterministic; no time, no randomness. */
+struct Config
+{
+    uint32_t selfcheck_rate = 0;  //!< Shadow-check every Nth region;
+                                  //!< 0 disables shadow execution
+                                  //!< (the ledger still runs).
+    uint64_t replay_budget = 1u << 20; //!< Interpreter steps allowed
+                                  //!< per replay before the region is
+                                  //!< declared divergent.
+    uint32_t fault_suspect_threshold = 0;    //!< Faults before Suspect;
+                                             //!< 0 = fault policy off.
+    uint32_t fault_quarantine_threshold = 0; //!< Faults before
+                                             //!< Quarantined; 0 = off.
+    uint32_t guard_quarantine_threshold = 0; //!< Guard mispredicts
+                                             //!< before Quarantined;
+                                             //!< 0 = off.
+    uint32_t retranslate_limit = 3; //!< Quarantine->retranslate cycles
+                                    //!< before the EIP is pinned to
+                                    //!< the interpreter.
+    uint64_t quarantine_cooldown = 8; //!< Dispatches served under the
+                                      //!< interpreter per quarantine.
+    size_t divergence_log_capacity = 32; //!< Retained DivergenceInfo.
+};
+
+/** The sentinel. One instance per run; attach via Options::sentinel. */
+class Sentinel
+{
+  public:
+    explicit Sentinel(Config cfg = {});
+
+    const Config &config() const { return cfg_; }
+
+    // ----- sampling -------------------------------------------------
+
+    /**
+     * Called once per dispatch-boundary region about to execute.
+     * True when the region must be shadow-checked. Pure function of
+     * the call count (and the configured rate), so thread count and
+     * host scheduling cannot change which regions are checked.
+     */
+    bool shouldCheck();
+
+    /** Regions seen so far (the sampling counter). */
+    uint64_t regionsSeen() const { return regions_seen_; }
+
+    // ----- health ledger feeds --------------------------------------
+
+    /**
+     * Record a guest fault raised while executing @p entry_eip's
+     * translation. True when the artifact just crossed the quarantine
+     * threshold — the caller must then quarantine it.
+     */
+    bool noteFault(uint32_t entry_eip);
+
+    /** Same contract for a speculation-guard mispredict. */
+    bool noteGuardMiss(uint32_t entry_eip);
+
+    /**
+     * Record a shadow-execution divergence attributed to @p entry_eip.
+     * Unlike faults, a single divergence is decisive: the artifact goes
+     * straight to Quarantined (or to pinned-interpreter once the retry
+     * budget is spent).
+     */
+    void noteDivergence(uint32_t entry_eip);
+
+    /** Append one divergence event to the bounded report log. */
+    void logDivergence(const DivergenceInfo &info);
+
+    // ----- quarantine queries (all const / side-effect free) --------
+
+    /** True when @p eip's artifact is blacklisted from publication
+     *  (Quarantined or pinned). The translator's publish path checks
+     *  this before adopting a hot artifact. */
+    bool isQuarantined(uint32_t eip) const;
+
+    /** True when dispatching @p eip must run under the interpreter
+     *  (quarantine cooldown in progress, or pinned). */
+    bool interpretGate(uint32_t eip) const;
+
+    // ----- quarantine transitions -----------------------------------
+
+    /**
+     * Account one interpreter-served dispatch of a quarantined @p eip.
+     * When the cooldown reaches zero and retries remain, the record
+     * moves to Retranslated (a fresh cold translation may be built);
+     * when retries are exhausted, the EIP stays pinned.
+     */
+    void tickCooldown(uint32_t eip);
+
+    // ----- introspection --------------------------------------------
+
+    const HealthRecord *record(uint32_t eip) const;
+    const std::map<uint32_t, HealthRecord> &ledger() const
+    {
+        return ledger_;
+    }
+    const BoundedRing<DivergenceInfo> &divergences() const
+    {
+        return divergence_log_;
+    }
+
+    uint64_t totalDivergences() const { return total_divergences_; }
+
+  private:
+    HealthRecord &row(uint32_t eip) { return ledger_[eip]; }
+
+    /** Shared Quarantined-entry transition (divergence + threshold). */
+    void enterQuarantine(HealthRecord &r);
+
+    Config cfg_;
+    uint64_t regions_seen_ = 0;
+    uint64_t total_divergences_ = 0;
+    std::map<uint32_t, HealthRecord> ledger_;
+    BoundedRing<DivergenceInfo> divergence_log_;
+};
+
+} // namespace el::sentinel
+
+#endif // EL_SUPPORT_SENTINEL_HH

@@ -54,8 +54,7 @@ Tracer::threadRing()
         return cache.ring;
 
     std::lock_guard<std::mutex> lk(rings_mu_);
-    rings_.push_back(std::make_unique<Ring>());
-    rings_.back()->events.reserve(std::min<size_t>(ring_capacity_, 1024));
+    rings_.push_back(std::make_unique<Ring>(ring_capacity_));
     cache.owner = this;
     cache.owner_id = instance_id_;
     cache.ring = rings_.back().get();
@@ -68,12 +67,6 @@ Tracer::record(const char *name, Cat cat, char ph, uint32_t tid,
 {
     Ring *ring = threadRing();
     std::lock_guard<std::mutex> lk(ring->mu);
-    if (ring->events.size() >= ring_capacity_) {
-        // Bounded buffer: drop the newest event (the earliest part of
-        // the run stays intact) and account for the loss.
-        ring->dropped++;
-        return;
-    }
     Event e;
     e.name = name;
     e.cat = cat;
@@ -87,7 +80,7 @@ Tracer::record(const char *name, Cat cat, char ph, uint32_t tid,
             break;
         e.args[e.nargs++] = a;
     }
-    ring->events.push_back(e);
+    ring->events.push(e);
 }
 
 std::vector<Event>
@@ -125,7 +118,7 @@ Tracer::dropped() const
     std::lock_guard<std::mutex> lk(rings_mu_);
     for (const auto &ring : rings_) {
         std::lock_guard<std::mutex> rlk(ring->mu);
-        n += ring->dropped;
+        n += ring->events.dropped();
     }
     return n;
 }

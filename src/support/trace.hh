@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "support/ring.hh"
+
 namespace el::trace
 {
 
@@ -113,12 +115,18 @@ class Tracer
     bool writeChromeJson(const std::string &path) const;
 
   private:
-    /** One host thread's bounded event buffer. */
+    /** One host thread's bounded event buffer. Drop-newest: on
+     *  overflow the earliest part of the run stays intact (see
+     *  support/ring.hh for the shared ring + the profiler's opposite
+     *  choice). */
     struct Ring
     {
         mutable std::mutex mu; //!< Owner appends; snapshot() reads.
-        std::vector<Event> events;
-        uint64_t dropped = 0;
+        BoundedRing<Event> events;
+
+        explicit Ring(size_t capacity)
+            : events(capacity, RingPolicy::DropNewest)
+        {}
     };
 
     void record(const char *name, Cat cat, char ph, uint32_t tid,

@@ -15,6 +15,7 @@
 
 #include "btlib/abi.hh"
 #include "guest/image.hh"
+#include "guest/workloads.hh"
 #include "harness/exec.hh"
 #include "ia32/assembler.hh"
 #include "support/faultinject.hh"
@@ -265,6 +266,71 @@ TEST(ChaosDirected, StormFaultsAreTransparent)
 
     EXPECT_GE(tr.runtime->stats().get("recover.storm_fault"), 1u);
     EXPECT_GE(tr.runtime->stats().get("recover.interp_steps"), 1u);
+}
+
+// ----- precise exception state, both OS personalities ----------------
+
+/**
+ * Mid-block fault delivery with precise state, on both SimLinux and
+ * SimWindows. The signal-storm personality faults a few instructions
+ * into a loop body with live register updates in flight; its handler
+ * folds the delivered fault kind, address and EIP into the exit
+ * checksum, so any imprecision in the reconstructed state — or any
+ * divergence between the two OS personalities' delivery paths and the
+ * interpreter's — changes the final answer.
+ */
+TEST(PreciseState, MidBlockFaultDeliveryMatchesOracle)
+{
+    for (OsAbi abi : {OsAbi::Linux, OsAbi::Windows}) {
+        guest::WorkloadParams p;
+        p.outer_iters = 12;
+        p.size = 64;
+        p.abi = abi;
+        guest::Workload w = guest::buildSignalStorm("storm_precise", p);
+        harness::Outcome ref = harness::runInterpreter(w.image, abi);
+        ASSERT_TRUE(ref.exited);
+
+        harness::TranslatedRun tr =
+            harness::runTranslated(w.image, abi);
+        expectMatchesReference(ref, tr.outcome,
+                               abi == OsAbi::Linux ? 100 : 101);
+        // The storm really stormed: a dense stream of delivered faults,
+        // every one raised from the middle of a translated block.
+        EXPECT_GE(tr.runtime->stats().get("faults.delivered"), 100u)
+            << (abi == OsAbi::Linux ? "linux" : "windows");
+    }
+}
+
+TEST(PreciseState, MidBlockFaultFromHotCodeMatchesOracle)
+{
+    // Same storm, but with the loop re-heated so faults are raised from
+    // *hot* translations: delivery must reconstruct precise state via
+    // the recovery maps, synchronously and with pipeline workers.
+    for (OsAbi abi : {OsAbi::Linux, OsAbi::Windows}) {
+        guest::WorkloadParams p;
+        p.outer_iters = 16;
+        p.size = 96;
+        p.abi = abi;
+        guest::Workload w = guest::buildSignalStorm("storm_hot", p);
+        harness::Outcome ref = harness::runInterpreter(w.image, abi);
+        ASSERT_TRUE(ref.exited);
+
+        for (unsigned threads : {0u, 4u}) {
+            core::Options o;
+            o.heat_threshold = 16;
+            o.hot_batch = 1;
+            o.translation_threads = threads;
+            o.deterministic_adoption = threads > 0;
+            harness::TranslatedRun tr =
+                harness::runTranslated(w.image, abi, o);
+            expectMatchesReference(ref, tr.outcome, 102 + threads);
+            EXPECT_GE(tr.runtime->stats().get("faults.delivered"), 100u);
+            EXPECT_GE(
+                tr.runtime->translator().stats.get("xlate.hot_blocks"),
+                1u)
+                << "storm never re-heated; the test lost its point";
+        }
+    }
 }
 
 // ----- the everything-at-once chaos sweep ---------------------------

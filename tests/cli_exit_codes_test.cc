@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Exit-code hygiene for the el_run CLI: scripts and CI must be able to
+ * tell *whose fault* a failed run was from the exit code alone —
+ * 0 success, 1 usage, 10 the guest's own fault, 20 a translator
+ * internal error, 30 a sentinel-detected divergence. The binary under
+ * test comes from the EL_RUN_BIN environment variable, which the CMake
+ * test registration points at the just-built el_run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace
+{
+
+int
+runCli(const std::string &args)
+{
+    const char *bin = std::getenv("EL_RUN_BIN");
+    EXPECT_NE(bin, nullptr)
+        << "EL_RUN_BIN must point at the el_run binary";
+    if (!bin)
+        return -1;
+    std::string cmd =
+        std::string(bin) + " " + args + " > /dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    if (rc < 0 || !WIFEXITED(rc))
+        return -1;
+    return WEXITSTATUS(rc);
+}
+
+TEST(CliExitCodes, CleanRunIsZero)
+{
+    EXPECT_EQ(runCli("--workload=jit_rewriter"), 0);
+}
+
+TEST(CliExitCodes, UsageErrorIsOne)
+{
+    EXPECT_EQ(runCli("--no-such-flag"), 1);
+    EXPECT_EQ(runCli("--workload="), 1);
+    EXPECT_EQ(runCli("--workload=no_such_personality"), 1);
+}
+
+TEST(CliExitCodes, IoErrorIsTwo)
+{
+    EXPECT_EQ(runCli("--workload=jit_rewriter "
+                     "--report-json=/no/such/dir/report.json"),
+              2);
+}
+
+TEST(CliExitCodes, UnhandledGuestFaultIsTen)
+{
+    // The faulter diagnostic dereferences an unmapped page with no
+    // handler registered: the guest's own fault, not the translator's.
+    EXPECT_EQ(runCli("--workload=faulter"), 10);
+}
+
+TEST(CliExitCodes, TranslatorInternalErrorIsTwenty)
+{
+    // Injected BTOS allocation failure on every attempt: the runtime
+    // cannot initialize. That is our failure, not the guest's.
+    EXPECT_EQ(runCli("--workload=jit_rewriter --fault=btos_alloc:1024"),
+              20);
+}
+
+TEST(CliExitCodes, SentinelDivergenceIsThirty)
+{
+    // Seeded miscompile + full shadow-checking: the sentinel detects
+    // the corrupted translation and el_run reports the divergence class
+    // even though the run completes with the correct answer.
+    EXPECT_EQ(runCli("--workload=jit_rewriter --fault=miscompile:128 "
+                     "--fault-seed=1 --selfcheck=1"),
+              30);
+}
+
+} // namespace

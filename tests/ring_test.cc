@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the shared bounded ring (support/ring.hh): both
+ * overflow policies, the drop counter, and the clear() semantics the
+ * divergence sentinel's visit log relies on (contents go, the drop
+ * count stays).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "support/ring.hh"
+
+namespace el
+{
+namespace
+{
+
+TEST(BoundedRing, FifoUnderCapacity)
+{
+    BoundedRing<int> ring(4);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 4u);
+    for (int k = 0; k < 3; ++k)
+        EXPECT_TRUE(ring.push(k));
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.front(), 0);
+    EXPECT_EQ(ring.back(), 2);
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(BoundedRing, DropOldestEvictsFront)
+{
+    BoundedRing<int> ring(3, RingPolicy::DropOldest);
+    for (int k = 0; k < 5; ++k)
+        EXPECT_TRUE(ring.push(k)); // every push is stored
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.front(), 2); // 0 and 1 were sacrificed
+    EXPECT_EQ(ring.back(), 4);
+    EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(BoundedRing, DropNewestRefusesPush)
+{
+    BoundedRing<int> ring(3, RingPolicy::DropNewest);
+    for (int k = 0; k < 3; ++k)
+        EXPECT_TRUE(ring.push(k));
+    EXPECT_FALSE(ring.push(99)); // refused, not stored
+    EXPECT_FALSE(ring.push(98));
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.front(), 0); // the earliest survive
+    EXPECT_EQ(ring.back(), 2);
+    EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(BoundedRing, ClearKeepsDropCount)
+{
+    BoundedRing<int> ring(2, RingPolicy::DropNewest);
+    ring.push(1);
+    ring.push(2);
+    ring.push(3); // dropped
+    EXPECT_EQ(ring.dropped(), 1u);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    // A consumer distinguishing complete from truncated recordings must
+    // still see the historical drop count after a reuse cycle.
+    EXPECT_EQ(ring.dropped(), 1u);
+    EXPECT_TRUE(ring.push(4));
+    EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(BoundedRing, ZeroCapacityIsClampedToOne)
+{
+    BoundedRing<int> ring(0);
+    EXPECT_EQ(ring.capacity(), 1u);
+    EXPECT_TRUE(ring.push(7));
+    EXPECT_TRUE(ring.push(8)); // DropOldest default: evicts 7
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.back(), 8);
+    EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(BoundedRing, IterationAndIndexing)
+{
+    BoundedRing<std::string> ring(4);
+    ring.push("a");
+    ring.push("b");
+    ring.push("c");
+    std::string joined;
+    for (const std::string &s : ring)
+        joined += s;
+    EXPECT_EQ(joined, "abc");
+    EXPECT_EQ(ring[1], "b");
+    ring[1] = "B";
+    EXPECT_EQ(ring[1], "B");
+}
+
+TEST(BoundedRing, MoveOnlyElements)
+{
+    BoundedRing<std::unique_ptr<int>> ring(2);
+    ring.push(std::make_unique<int>(1));
+    ring.push(std::make_unique<int>(2));
+    ring.push(std::make_unique<int>(3)); // evicts 1
+    EXPECT_EQ(*ring.front(), 2);
+    EXPECT_EQ(*ring.back(), 3);
+}
+
+} // namespace
+} // namespace el
