@@ -165,6 +165,10 @@ struct BlockInfo
     // Superseded by a newer translation (kept for stable ids).
     bool invalidated = false;
 
+    // Adopted from a persistent artifact store rather than translated
+    // in this process (observability: report + el_prof origin marks).
+    bool loaded_from_store = false;
+
     // Hot-coverage lifecycle (cold blocks).
     HotState hot_state = HotState::Eligible;
     int32_t hot_version = -1;  //!< Hot block id when hot_state == Covered.

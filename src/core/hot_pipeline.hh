@@ -104,6 +104,12 @@ struct HotArtifact
 
     SpecContext spec;            //!< Entry conditions (from the input).
     std::vector<uint32_t> covered_eips; //!< Interior trace entries.
+    /** SMC guard windows carried from the input: the persistence layer
+     *  stores them with the artifact so a warm run can re-validate a
+     *  loaded trace against live guest memory before adopting it. */
+    std::vector<std::pair<uint32_t, uint64_t>> smc_guards;
+    bool from_store = false;     //!< Adopted from a persistent store
+                                 //!< (skip re-recording + hot counters).
 
     /**
      * Proto block metadata: everything except the final id and cache

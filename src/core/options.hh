@@ -32,6 +32,11 @@ namespace el::sentinel
 class Sentinel;
 } // namespace el::sentinel
 
+namespace el::persist
+{
+class ArtifactStore;
+} // namespace el::persist
+
 namespace el::core
 {
 
@@ -128,6 +133,13 @@ struct Options
                                        //!< hook is one predictable
                                        //!< branch costing zero simulated
                                        //!< cycles.
+    persist::ArtifactStore *persist = nullptr; //!< Persistent hot-artifact
+                                       //!< store (not owned). Null = off:
+                                       //!< no recording, no dispatch-time
+                                       //!< probes. Attached, published hot
+                                       //!< artifacts are recorded into it
+                                       //!< and dispatch adopts matching
+                                       //!< records before translating.
 };
 
 } // namespace el::core

@@ -1,9 +1,12 @@
 #include "core/report.hh"
 
+#include <cstring>
 #include <fstream>
 
 #include "core/runtime.hh"
 #include "ia32/decoder.hh"
+#include "ia32/state.hh"
+#include "persist/store.hh"
 #include "support/json.hh"
 #include "support/profile.hh"
 #include "support/strfmt.hh"
@@ -28,7 +31,58 @@ misalignIn(const ipf::Machine &m, Bucket b)
     return m.misalignCycles()[static_cast<size_t>(b)];
 }
 
+constexpr uint64_t fnv_offset = 0xcbf29ce484222325ULL;
+constexpr uint64_t fnv_prime = 0x100000001b3ULL;
+
+void
+fnv(uint64_t &h, const void *data, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= fnv_prime;
+    }
+}
+
 } // namespace
+
+GuestResult
+guestResultOf(const ia32::State &st, const std::string &console,
+              bool exited, int32_t exit_code, uint64_t guest_insns)
+{
+    GuestResult r;
+    r.exited = exited;
+    r.exit_code = exit_code;
+    r.guest_insns = guest_insns;
+
+    uint64_t h = fnv_offset;
+    for (uint32_t g : st.gpr)
+        fnv(h, &g, sizeof(g));
+    fnv(h, &st.eip, sizeof(st.eip));
+    fnv(h, &st.eflags, sizeof(st.eflags));
+    // FP stack slots are hashed as double bit patterns: long double
+    // objects carry 6 padding bytes of indeterminate value.
+    for (int i = 0; i < 8; ++i) {
+        double d = static_cast<double>(st.fpu.st[i]);
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        fnv(h, &bits, sizeof(bits));
+        uint8_t tag = static_cast<uint8_t>(st.fpu.tag[i]);
+        fnv(h, &tag, sizeof(tag));
+    }
+    fnv(h, &st.fpu.top, sizeof(st.fpu.top));
+    fnv(h, &st.fpu.control, sizeof(st.fpu.control));
+    fnv(h, &st.fpu.status, sizeof(st.fpu.status));
+    for (const ia32::XmmReg &x : st.xmm)
+        fnv(h, x.bytes.data(), x.bytes.size());
+    fnv(h, &st.mxcsr, sizeof(st.mxcsr));
+    r.state_hash = h;
+
+    uint64_t ch = fnv_offset;
+    fnv(ch, console.data(), console.size());
+    r.console_hash = ch;
+    return r;
+}
 
 Attribution
 attributionOf(Runtime &rt)
@@ -62,7 +116,8 @@ attributionOf(Runtime &rt)
 }
 
 std::string
-runReportJson(Runtime &rt, const std::string &workload)
+runReportJson(Runtime &rt, const std::string &workload,
+              const GuestResult *guest)
 {
     ipf::Machine &m = rt.machine();
     const ipf::BucketStats &st = m.stats();
@@ -100,11 +155,32 @@ runReportJson(Runtime &rt, const std::string &workload)
     }
     w.endObject();
 
+    if (guest) {
+        // The architectural outcome, isolated from every timing-model
+        // scalar above: warm-vs-cold CI comparisons diff exactly this
+        // object (cycles legitimately differ; guest results must not).
+        w.key("guest");
+        w.beginObject();
+        w.kv("exited", guest->exited);
+        w.kv("exit_code", static_cast<int64_t>(guest->exit_code));
+        w.kv("state_hash", strfmt("%016llx",
+                                  static_cast<unsigned long long>(
+                                      guest->state_hash)));
+        w.kv("console_hash", strfmt("%016llx",
+                                    static_cast<unsigned long long>(
+                                        guest->console_hash)));
+        w.kv("guest_insns", guest->guest_insns);
+        w.endObject();
+    }
+
     // One merged counter namespace (translator + runtime counters are
     // disjoint today; merging keeps the JSON free of duplicate keys if
-    // that ever changes).
+    // that ever changes). The artifact store's persist.* counters join
+    // them when a store is attached.
     StatGroup all_stats = rt.translator().stats;
     all_stats.merge(rt.stats());
+    if (rt.options().persist)
+        all_stats.merge(rt.options().persist->stats);
     w.key("stats");
     w.beginObject();
     for (const auto &[name, value] : all_stats.all())
@@ -139,12 +215,12 @@ runReportJson(Runtime &rt, const std::string &workload)
 
 bool
 writeRunReport(Runtime &rt, const std::string &workload,
-               const std::string &path)
+               const std::string &path, const GuestResult *guest)
 {
     std::ofstream f(path, std::ios::binary);
     if (!f)
         return false;
-    f << runReportJson(rt, workload);
+    f << runReportJson(rt, workload, guest);
     return static_cast<bool>(f);
 }
 
@@ -242,6 +318,8 @@ profileJson(Runtime &rt, const prof::Profiler &prof,
                 w.kv("id", bi->id);
                 w.kv("kind",
                      bi->kind == BlockKind::Hot ? "hot" : "cold");
+                w.kv("origin",
+                     bi->loaded_from_store ? "loaded" : "local");
                 w.kv("cycles", cost.cycles);
                 w.kv("ipf_insns", cost.insns);
                 w.endObject();

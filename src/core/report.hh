@@ -16,6 +16,7 @@
 #ifndef EL_CORE_REPORT_HH
 #define EL_CORE_REPORT_HH
 
+#include <cstdint>
 #include <string>
 
 namespace el::prof
@@ -23,10 +24,36 @@ namespace el::prof
 class Profiler;
 } // namespace el::prof
 
+namespace el::ia32
+{
+struct State;
+} // namespace el::ia32
+
 namespace el::core
 {
 
 class Runtime;
+
+/**
+ * The architectural outcome of one guest run, reduced to comparable
+ * scalars: a warm-start run must reproduce these bit-for-bit against a
+ * cold run, and CI diffs them across cache states. Hashes are rendered
+ * as hex strings in the JSON (64-bit values do not survive a round
+ * trip through JSON doubles).
+ */
+struct GuestResult
+{
+    bool exited = false;
+    int32_t exit_code = 0;
+    uint64_t state_hash = 0;   //!< Hash of the final ia32::State.
+    uint64_t console_hash = 0; //!< Hash of the guest console output.
+    uint64_t guest_insns = 0;
+};
+
+/** Reduce a final guest state + console to a GuestResult. */
+GuestResult guestResultOf(const ia32::State &state,
+                          const std::string &console, bool exited,
+                          int32_t exit_code, uint64_t guest_insns);
 
 /** Simulated cycles bucketed into the paper's Figure 6 categories. */
 struct Attribution
@@ -56,11 +83,13 @@ Attribution attributionOf(Runtime &rt);
  * Options::collect_block_cycles was set — one row per translation
  * block with its simulated cycles and retired instructions.
  */
-std::string runReportJson(Runtime &rt, const std::string &workload);
+std::string runReportJson(Runtime &rt, const std::string &workload,
+                          const GuestResult *guest = nullptr);
 
 /** Write runReportJson() to @p path; false on I/O failure. */
 bool writeRunReport(Runtime &rt, const std::string &workload,
-                    const std::string &path);
+                    const std::string &path,
+                    const GuestResult *guest = nullptr);
 
 /**
  * The execution profile as a JSON object string (`el_prof` renders it):

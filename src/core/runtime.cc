@@ -1139,7 +1139,11 @@ Runtime::run(ia32::State &state)
             // instead of decaying into cold execution.
             if (block && block->kind == BlockKind::Hot &&
                 options_.enable_hot_phase &&
+                !translator_->persistCovers(target) &&
                 !(sentinel_ && sentinel_->interpretGate(target))) {
+                // (A store-covered target is excluded: dispatchEntry
+                // below adopts the persisted trace, so spending a local
+                // hot session on it would only duplicate work.)
                 SpecContext spec = currentSpec();
                 BlockInfo *cold =
                     translator_->dispatchCold(target, spec, false);

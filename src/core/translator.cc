@@ -1,6 +1,7 @@
 #include "core/translator.hh"
 
 #include "ia32/decoder.hh"
+#include "persist/store.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/sentinel.hh"
@@ -114,6 +115,13 @@ Translator::dispatch(uint32_t eip, const SpecContext &spec)
         for (Variant &v : hit->second)
             if (specMatches(*v.block, spec))
                 return v.block;
+    }
+    // Persisted artifacts are preferred over cold translation for the
+    // same reason live hot versions are preferred over cold blocks: a
+    // store hit skips both phases for this EIP.
+    if (options.persist) {
+        if (BlockInfo *adopted = adoptPersisted(eip, spec))
+            return adopted;
     }
     auto cit = cold_map_.find(eip);
     if (cit != cold_map_.end()) {
@@ -237,6 +245,10 @@ Translator::quarantineBlock(BlockInfo *block)
         cache_.invalidateEntry(block->cache_entry, ExitReason::Resync,
                                block->entry_eip);
     stats.add("sentinel.blocks_quarantined");
+    // Convicted code must never ship: purge every store record at this
+    // entry so the next save cannot resurrect it in another process.
+    if (options.persist)
+        options.persist->dropAt(block->entry_eip);
     if (trace_)
         trace_->instant("quarantine", trace::Cat::Cache, 0, trace_now_(),
                         {{"block", block->id},
@@ -829,6 +841,7 @@ Translator::runHotSession(const HotSessionInput &in,
     out->ok = false;
     out->spec = in.spec;
     out->covered_eips = in.covered_eips;
+    out->smc_guards = in.smc_guards;
     if (faults && faults->shouldFire(FaultSite::HotXlateAbort)) {
         // Injected optimization-session abort; the adopting side's
         // bounded retry policy decides whether the block stays eligible.
@@ -1026,6 +1039,29 @@ Translator::commitHotArtifact(HotArtifact &art)
         return nullptr;
     }
 
+    // Capture the store record while the proto and staging cache are
+    // still artifact-relative (publish rebases the shared copy, and the
+    // proto is moved into the block table below). It is committed to
+    // the store only after publication fully succeeds.
+    persist::ArtifactStore *store = options.persist;
+    bool record_it =
+        store != nullptr && !art.from_store && !store->sealed();
+    persist::HotRecord rec;
+    if (record_it) {
+        rec.entry_eip = art.proto.entry_eip;
+        rec.spec_tos = art.spec.tos;
+        rec.spec_tag = art.spec.tag;
+        rec.spec_mmx_domain = art.spec.mmx_domain;
+        rec.spec_xmm_format = art.spec.xmm_format;
+        rec.proto = art.proto;
+        rec.covered_eips = art.covered_eips;
+        rec.smc_guards = art.smc_guards;
+        rec.code.reserve(art.staging.size());
+        for (int64_t i = 0;
+             i < static_cast<int64_t>(art.staging.size()); ++i)
+            rec.code.push_back(art.staging.at(i));
+    }
+
     int32_t new_id = static_cast<int32_t>(blocks_.size());
     int64_t base = cache_.publish(art.staging, art.generation, new_id);
     if (base < 0) {
@@ -1051,15 +1087,24 @@ Translator::commitHotArtifact(HotArtifact &art)
         return nullptr;
     }
 
-    stats.add("xlate.hot_blocks");
-    stats.add("xlate.hot_insns", info->insn_count);
-    stats.add("hot.commit_points", info->recovery.size());
+    if (art.from_store) {
+        // Adopted, not translated: the xlate.* counters keep meaning
+        // "translation work done in this process", so the warm-start
+        // reuse rate is persist.hits / (hits + xlate.hot_blocks).
+        stats.add("persist.adopted_blocks");
+        stats.add("persist.adopted_insns", info->insn_count);
+    } else {
+        stats.add("xlate.hot_blocks");
+        stats.add("xlate.hot_insns", info->insn_count);
+        stats.add("hot.commit_points", info->recovery.size());
+        stats.add("xlate.hot_ipf_insns",
+                  info->cache_end - info->cache_entry);
+    }
     // Session-side counters (sched.*, fxch.eliminated,
     // xlate.hot_trace_blocks, hot.loopback_edges) were accumulated into
     // the artifact's private group on the worker; fold them in here, on
     // the main thread, so the shared group is never written by workers.
     stats.merge(art.stats);
-    stats.add("xlate.hot_ipf_insns", info->cache_end - info->cache_entry);
 
     hot_map_[info->entry_eip].push_back({art.spec, info});
 
@@ -1100,7 +1145,100 @@ Translator::commitHotArtifact(HotArtifact &art)
     }
 
     blocks_.push_back(std::move(info_holder));
+    if (record_it)
+        store->record(std::move(rec));
     return info;
+}
+
+BlockInfo *
+Translator::adoptPersisted(uint32_t eip, const SpecContext &spec)
+{
+    persist::ArtifactStore *store = options.persist;
+    if (!store || !store->hasRecordsAt(eip))
+        return nullptr;
+    if (options.sentinel && options.sentinel->isQuarantined(eip)) {
+        // The interpret gate owns this EIP until its cooldown passes;
+        // commitHotArtifact would refuse anyway, so don't churn.
+        return nullptr;
+    }
+    maybeFlushForRoom();
+
+    BlockInfo *match = nullptr;
+    for (const persist::HotRecord *rec : store->recordsAt(eip)) {
+        // One adoption per record per run. A live previous block means
+        // the dispatch spec just doesn't match it (re-publishing would
+        // duplicate); an *invalidated* one means SMC convicted the
+        // trace after adoption — re-heat it live like any local block,
+        // or a guest that patches its code back and forth (jit_rewriter)
+        // would loop adopt -> invalidate -> adopt forever.
+        if (persist_adopted_.count(rec))
+            continue;
+
+        // Re-validate the artifact's SMC-guard windows against live
+        // guest memory. The baked guards only catch stores that happen
+        // *after* adoption; a mismatch here means the code was patched
+        // since the store was written, and publishing the trace would
+        // just bounce through SmcDetected -> invalidate -> re-adopt
+        // forever.
+        bool smc_ok = true;
+        for (const auto &[addr, bytes] : rec->smc_guards) {
+            uint64_t cur = 0;
+            mem_.readPriv(addr, 8, &cur);
+            if (cur != bytes) {
+                smc_ok = false;
+                break;
+            }
+        }
+        if (!smc_ok) {
+            store->stats.add("persist.smc_rejected");
+            continue;
+        }
+
+        // Rebuild a HotArtifact and push it through the normal commit
+        // path: generation check, sentinel gate, cold-entry
+        // redirection, coverage — identical to a live session's.
+        HotArtifact art;
+        art.generation = cache_.generation();
+        art.from_store = true;
+        art.ok = true;
+        art.spec.tos = rec->spec_tos;
+        art.spec.tag = rec->spec_tag;
+        art.spec.mmx_domain = rec->spec_mmx_domain;
+        art.spec.xmm_format = rec->spec_xmm_format;
+        art.proto = rec->proto;
+        art.covered_eips = rec->covered_eips;
+        art.smc_guards = rec->smc_guards;
+        for (const ipf::Instr &i : rec->code)
+            art.staging.emit(i);
+
+        BlockInfo *info = commitHotArtifact(art);
+        if (!info)
+            continue;
+        persist_adopted_[rec] = info->id;
+        store->stats.add("persist.hits");
+        store->stats.add("persist.loaded_blocks");
+        // Adoption stalls the guest like a pipelined publish would; it
+        // is hot-translation latency the store removed, minus the
+        // session itself.
+        chargeHotStall(options.hot_publish_cost_per_insn *
+                       (info->insn_count + 1));
+        if (trace_)
+            trace_->instant("persist_adopt", trace::Cat::Hot, 0,
+                            trace_now_(),
+                            {{"block", info->id},
+                             {"eip", static_cast<int64_t>(eip)}});
+        if (!match && specMatches(*info, spec))
+            match = info;
+    }
+    if (!match)
+        store->noteMiss(eip);
+    return match;
+}
+
+bool
+Translator::persistCovers(uint32_t eip) const
+{
+    return options.persist && options.persist->hasRecordsAt(eip);
 }
 
 BlockInfo *

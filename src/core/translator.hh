@@ -110,6 +110,27 @@ class Translator
      */
     BlockInfo *commitHotArtifact(HotArtifact &artifact);
 
+    // ----- persistent artifact store (Options::persist) --------------
+
+    /**
+     * Probe the attached artifact store for hot translations at
+     * @p eip and publish every usable record through the normal
+     * commit path (generation check, cold-entry redirection, coverage,
+     * sentinel quarantine — identical to a live session). A record
+     * whose SMC-guard window no longer matches live guest memory is
+     * rejected (persist.smc_rejected): the guest patched that code
+     * since the store was written, and adopting it would only bounce
+     * through SmcDetected forever. Returns the adopted block matching
+     * @p spec, or null when nothing usable matched (the caller then
+     * proceeds to cold translation).
+     */
+    BlockInfo *adoptPersisted(uint32_t eip, const SpecContext &spec);
+
+    /** Does the attached store hold records at @p eip? The runtime's
+     *  hot-chaining path checks this so a LinkMiss into covered code
+     *  adopts the persisted trace instead of re-translating it. */
+    bool persistCovers(uint32_t eip) const;
+
     /** Simulated cycles one session over @p input occupies a worker. */
     double
     hotSessionCost(const HotSessionInput &input) const
@@ -318,6 +339,10 @@ class Translator
 
     std::map<uint32_t, std::vector<Variant>> cold_map_;
     std::map<uint32_t, std::vector<Variant>> hot_map_;
+    /** Store records already published this process -> block id, so a
+     *  spec-mismatched dispatch never re-publishes a live record. Keys
+     *  are only compared, never dereferenced. */
+    std::map<const void *, int32_t> persist_adopted_;
     std::map<uint32_t, MisalignHistory> misalign_;
     std::vector<std::unique_ptr<BlockInfo>> blocks_;
     int64_t profile_next_ = rt::profile_base;

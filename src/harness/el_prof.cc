@@ -190,9 +190,14 @@ printAnnotated(const Value &root, size_t top)
         if (xl && xl->isArray()) {
             for (const Value &t : xl->arr) {
                 double cycles = t.numberOr("cycles", 0);
-                std::printf("  [%s #%.0f] %12.0f cycles "
+                // Warm-started translations are marked: "hot+store"
+                // means the trace was adopted from a persistent
+                // artifact store, not translated in this run.
+                bool loaded = t.strOr("origin", "local") == "loaded";
+                std::printf("  [%s%s #%.0f] %12.0f cycles "
                             "(%4.1f%% of run), %.0f ipf insns",
                             t.strOr("kind", "?").c_str(),
+                            loaded ? "+store" : "",
                             t.numberOr("id", 0), cycles,
                             total_cycles > 0
                                 ? 100.0 * cycles / total_cycles

@@ -25,6 +25,7 @@
 #include "guest/workloads.hh"
 #include "ia32/assembler.hh"
 #include "harness/exec.hh"
+#include "persist/store.hh"
 #include "support/profile.hh"
 #include "support/sentinel.hh"
 #include "support/trace.hh"
@@ -59,10 +60,15 @@ usage()
         "  --heat-threshold=<n>   block-use count registering hot\n"
         "  --hot-batch=<n>        candidates batched per session\n"
         "  --cache-capacity=<n>   bound the code cache (0 = unbounded)\n"
+        "  --cache-dir=<dir>      persistent translation-artifact store:\n"
+        "                         load matching hot artifacts before the\n"
+        "                         run (warm start) and save published\n"
+        "                         ones after it\n"
         "  --fault=<site>:<p>     fire <site> with p/1024 probability\n"
         "                         (sites: btos_alloc, cold_xlate_abort,\n"
         "                         hot_xlate_abort, cache_exhaust,\n"
-        "                         guest_fault_storm, miscompile)\n"
+        "                         guest_fault_storm, miscompile,\n"
+        "                         store_corrupt)\n"
         "  --fault-seed=<n>       fault-injection PRNG seed\n"
         "  --selfcheck=<rate>     shadow-execute every <rate>-th\n"
         "                         dispatched region through the\n"
@@ -160,7 +166,7 @@ int
 main(int argc, char **argv)
 {
     std::string workload_name = "gzip";
-    std::string trace_out, report_json, profile_out;
+    std::string trace_out, report_json, profile_out, cache_dir;
     core::Options options;
     prof::Config prof_cfg;
     sentinel::Config sentinel_cfg;
@@ -193,6 +199,8 @@ main(int argc, char **argv)
         } else if (const char *v = value("--cache-capacity=")) {
             options.code_cache_capacity =
                 static_cast<uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--cache-dir=")) {
+            cache_dir = v;
         } else if (const char *v = value("--fault=")) {
             std::string spec = v;
             size_t colon = spec.rfind(':');
@@ -276,8 +284,30 @@ main(int argc, char **argv)
     if (sentinel_cfg.selfcheck_rate > 0)
         options.sentinel = &sentinel;
 
+    persist::ArtifactStore store;
+    bool warm = false;
+    if (!cache_dir.empty()) {
+        store.resetFingerprint(
+            persist::fingerprintOf(wl->image, options));
+        warm = store.load(cache_dir);
+        options.persist = &store;
+    }
+
     harness::TranslatedRun run =
         harness::runTranslated(wl->image, wl->params.abi, options);
+
+    // Save before the report is written so persist.bytes_written and
+    // persist.records_saved appear in the report's stats object.
+    if (!cache_dir.empty() && !store.save(cache_dir)) {
+        std::fprintf(stderr, "el_run: cannot write store in %s\n",
+                     cache_dir.c_str());
+        return exit_io;
+    }
+
+    core::GuestResult guest = core::guestResultOf(
+        run.outcome.final_state, run.outcome.console,
+        run.outcome.exited, run.outcome.exit_code,
+        run.outcome.guest_insns);
 
     if (!trace_out.empty()) {
         if (!tracer.writeChromeJson(trace_out)) {
@@ -290,8 +320,8 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(tracer.dropped()));
     }
     if (!report_json.empty()) {
-        if (!core::writeRunReport(*run.runtime, wl->name,
-                                  report_json)) {
+        if (!core::writeRunReport(*run.runtime, wl->name, report_json,
+                                  &guest)) {
             std::fprintf(stderr, "el_run: cannot write %s\n",
                          report_json.c_str());
             return exit_io;
@@ -319,6 +349,32 @@ main(int argc, char **argv)
                 "native=%.0f idle=%.0f\n",
                 attr.cold_code, attr.hot_code, attr.btgeneric,
                 attr.fault_handling, attr.native, attr.idle);
+    if (options.persist) {
+        const el::StatGroup &ps = store.stats;
+        uint64_t hits = ps.get("persist.hits");
+        uint64_t local =
+            run.runtime->translator().stats.get("xlate.hot_blocks");
+        double reuse = (hits + local)
+                           ? 100.0 * static_cast<double>(hits) /
+                                 static_cast<double>(hits + local)
+                           : 0.0;
+        std::printf("  persist: %s hits=%llu misses=%llu loaded=%llu "
+                    "reuse=%.1f%% read=%lluB written=%lluB "
+                    "records=%zu%s\n",
+                    warm ? "warm" : "cold",
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(
+                        ps.get("persist.misses")),
+                    static_cast<unsigned long long>(
+                        ps.get("persist.loaded_blocks")),
+                    reuse,
+                    static_cast<unsigned long long>(
+                        ps.get("persist.bytes_read")),
+                    static_cast<unsigned long long>(
+                        ps.get("persist.bytes_written")),
+                    store.recordCount(),
+                    store.sealed() ? " (sealed)" : "");
+    }
     if (options.sentinel) {
         const el::StatGroup &st = run.runtime->stats();
         std::printf("  selfcheck: rate=1/%u regions=%llu checked=%llu "

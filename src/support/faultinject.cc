@@ -26,6 +26,8 @@ faultSiteName(FaultSite site)
         return "guest_fault_storm";
       case FaultSite::Miscompile:
         return "miscompile";
+      case FaultSite::StoreCorrupt:
+        return "store_corrupt";
       default:
         return "?";
     }

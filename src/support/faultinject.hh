@@ -41,6 +41,8 @@ enum class FaultSite : uint8_t
     GuestFaultStorm, //!< Spurious transient guest fault (page/div/FP).
     Miscompile,      //!< Translation succeeds but one emitted bundle is
                      //!< corrupted (the divergence sentinel's prey).
+    StoreCorrupt,    //!< The artifact store writes a file with one
+                     //!< flipped byte (the hardened loader's prey).
     NumSites,
 };
 
