@@ -62,6 +62,19 @@ HotPipeline::enqueue(HotCandidate candidate, double now,
     return seq;
 }
 
+void
+HotPipeline::quiesce()
+{
+    if (pending_ready_.empty())
+        return;
+    std::unique_lock<std::mutex> lk(results_mu_);
+    // Every not-yet-drained candidate is either still with a worker or
+    // landed in results_; wait for the two sets to coincide.
+    results_cv_.wait(lk, [&] {
+        return results_.size() == pending_ready_.size();
+    });
+}
+
 std::vector<HotArtifact>
 HotPipeline::drain(double now)
 {

@@ -176,6 +176,15 @@ class HotPipeline
     /** Candidates enqueued and not yet drained. */
     size_t inFlight() const { return pending_ready_.size(); }
 
+    /**
+     * Block (wall-clock only) until every enqueued candidate's session
+     * has executed and its artifact landed. Does not drain: adoption
+     * timing is unchanged. Called at end of run so observers that read
+     * worker-side records (flight recorder, postmortem bundles) see
+     * the same event set on every run regardless of host scheduling.
+     */
+    void quiesce();
+
     unsigned threads() const { return pool_.size(); }
 
   private:

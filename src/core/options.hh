@@ -37,6 +37,11 @@ namespace el::persist
 class ArtifactStore;
 } // namespace el::persist
 
+namespace el::metrics
+{
+class Registry;
+} // namespace el::metrics
+
 namespace el::core
 {
 
@@ -140,6 +145,29 @@ struct Options
                                        //!< artifacts are recorded into it
                                        //!< and dispatch adopts matching
                                        //!< records before translating.
+
+    // ----- flight recorder (ON by default; zero simulated cycles) ---
+    bool flight_recorder = true;      //!< Always-on black box: the
+                                      //!< runtime owns a FlightRecorder
+                                      //!< + ProvenanceLedger fed by the
+                                      //!< same hook sites as tracing.
+                                      //!< false = the recorder is never
+                                      //!< allocated and every hook is
+                                      //!< one null-check branch (the
+                                      //!< "compiled-out" comparison
+                                      //!< point; results are bit-exact
+                                      //!< either way).
+    uint32_t flight_ring_capacity = 1024; //!< Last-N events kept per
+                                      //!< host thread (drop-oldest).
+    uint32_t provenance_events_per_eip = 32; //!< Lifecycle events kept
+                                      //!< per guest entry point.
+    metrics::Registry *metrics = nullptr; //!< Telemetry snapshotter (not
+                                      //!< owned). Null = off; attached,
+                                      //!< the runtime registers its
+                                      //!< gauges/stat groups and drives
+                                      //!< Registry::maybeEmit at
+                                      //!< dispatch boundaries off the
+                                      //!< simulated clock.
 };
 
 } // namespace el::core

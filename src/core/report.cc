@@ -10,6 +10,7 @@
 #include "support/json.hh"
 #include "support/profile.hh"
 #include "support/strfmt.hh"
+#include "support/trace.hh"
 
 namespace el::core
 {
@@ -181,6 +182,19 @@ runReportJson(Runtime &rt, const std::string &workload,
     all_stats.merge(rt.stats());
     if (rt.options().persist)
         all_stats.merge(rt.options().persist->stats);
+    // Observer overflow counters: a nonzero value flags a report whose
+    // event streams are incomplete (rings overflowed), which is the
+    // first thing to check before trusting a trace or profile.
+    if (rt.options().trace)
+        all_stats.set("trace.dropped_events",
+                      static_cast<double>(rt.options().trace->dropped()));
+    if (rt.options().profiler)
+        all_stats.set("profile.dropped_samples",
+                      static_cast<double>(
+                          rt.options().profiler->samplesDropped()));
+    if (rt.flight())
+        all_stats.set("flight.dropped_events",
+                      static_cast<double>(rt.flight()->dropped()));
     w.key("stats");
     w.beginObject();
     for (const auto &[name, value] : all_stats.all())

@@ -9,8 +9,10 @@
 #include "ia32/flags.hh"
 #include "ia32/interp.hh"
 #include "ipf/regs.hh"
+#include "persist/store.hh"
 #include "support/bitfield.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/profile.hh"
 #include "support/trace.hh"
 
@@ -27,6 +29,14 @@ Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
     : mem_(memory), btos_(vtable), options_(options),
       inject_scope_(options_.fault)
 {
+    // The black box exists before anything that can fail: a postmortem
+    // of an InitError run still has a (short) flight to dump.
+    if (options_.flight_recorder) {
+        flight_ = std::make_unique<flight::FlightRecorder>(
+            options_.flight_ring_capacity);
+        provenance_ = std::make_unique<ProvenanceLedger>(
+            options_.provenance_events_per_eip);
+    }
     if (!btos_.ok()) {
         el_warn("BTOS handshake failed: %s", btos_.error().c_str());
         return;
@@ -104,20 +114,59 @@ Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
             s->fault_fires = fi ? fi->totalFires() : 0;
         });
     }
-    if (trace_) {
+    if (trace_)
         translator_->setTrace(
             trace_, [this] { return machine_->totalCycles(); });
+    if (flight_)
+        translator_->setObservers(
+            flight_.get(), provenance_.get(),
+            [this] { return machine_->totalCycles(); });
+    if (trace_ || flight_) {
         if (FaultInjector *fi = inject_scope_.get()) {
-            // Main-thread fires only; worker-side injection is traced
-            // by the pipeline session wrapper below with the session's
-            // planned simulated timeline.
-            fi->setFireListener([this](FaultSite site) {
-                trace_->instant(
-                    "fault_fire", trace::Cat::Fault, 0,
-                    machine_->totalCycles(),
-                    {{"site", static_cast<int64_t>(site)}});
+            // Main-thread fires only; worker-side injection is
+            // recorded by the pipeline session wrapper below with the
+            // session's planned simulated timeline.
+            fi->setFireListener([this, fi](FaultSite site) {
+                double now = machine_->totalCycles();
+                if (trace_)
+                    trace_->instant(
+                        "fault_fire", trace::Cat::Fault, 0, now,
+                        {{"site", static_cast<int64_t>(site)}});
+                if (flight_)
+                    flight_->record(
+                        flight::Kind::FaultInject, 0, now,
+                        static_cast<int64_t>(site),
+                        static_cast<int64_t>(fi->totalFires()));
             });
         }
+    }
+    if (sentinel_ && flight_) {
+        // Health transitions feed the black box: the state machine
+        // record (the quarantineBlock path separately notes the
+        // artifact-level conviction with its precise cause).
+        sentinel_->setTransitionListener(
+            [this](uint32_t eip, sentinel::Health from,
+                   sentinel::Health to, bool pinned) {
+                double now = machine_->totalCycles();
+                flight_->record(flight::Kind::SentinelShift, 0, now,
+                                static_cast<int64_t>(eip),
+                                static_cast<int64_t>(from),
+                                static_cast<int64_t>(to));
+                if (!provenance_)
+                    return;
+                ProvState st = ProvState::Suspect;
+                ProvCause cause = ProvCause::None;
+                if (pinned) {
+                    st = ProvState::Pinned;
+                } else if (to == sentinel::Health::Quarantined) {
+                    st = ProvState::Quarantined;
+                } else if (to == sentinel::Health::Retranslated) {
+                    st = ProvState::Retranslated;
+                    cause = ProvCause::Cooldown;
+                }
+                provenance_->note(eip, st, cause, -1,
+                                  cache_.generation(), now);
+            });
     }
 
     if (options_.translation_threads > 0 && options_.enable_hot_phase) {
@@ -158,7 +207,56 @@ Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
                           static_cast<int64_t>(c.worker_slot)},
                          {"ok", out->ok ? 1 : 0}});
                 }
+                if (flight_) {
+                    // Same planned-time rule as tracing: the worker
+                    // lane's black-box entries must replay bit-exactly
+                    // across thread counts.
+                    uint32_t lane = 1 + c.worker_slot;
+                    if (out->injected_abort)
+                        flight_->record(
+                            flight::Kind::FaultInject, lane,
+                            c.start_cycles,
+                            static_cast<int64_t>(
+                                FaultSite::HotXlateAbort),
+                            static_cast<int64_t>(c.seq));
+                    flight_->record(
+                        flight::Kind::HotSession, lane, c.ready_cycles,
+                        static_cast<int64_t>(c.input.entry_eip),
+                        static_cast<int64_t>(c.seq), out->ok ? 1 : 0);
+                }
             });
+    }
+
+    if (metrics::Registry *m = options_.metrics) {
+        // Gauges are closures over live runtime state, read only at
+        // emit time; counter groups are exported wholesale under a
+        // subsystem prefix. Registration costs nothing per dispatch.
+        m->gauge("cycles", [this] { return machine_->totalCycles(); });
+        m->gauge("dispatch_lookups", [this] {
+            return static_cast<double>(dispatch_lookups_);
+        });
+        m->gauge("cache_occupancy", [this] {
+            return static_cast<double>(cache_.nextIndex());
+        });
+        m->gauge("cache_generation", [this] {
+            return static_cast<double>(cache_.generation());
+        });
+        m->gauge("hot_queue_depth", [this] {
+            return static_cast<double>(hot_queue_.size());
+        });
+        m->gauge("worker_inflight", [this] {
+            return hot_pipeline_
+                       ? static_cast<double>(hot_pipeline_->inFlight())
+                       : 0.0;
+        });
+        m->gauge("flight_dropped", [this] {
+            return flight_ ? static_cast<double>(flight_->dropped())
+                           : 0.0;
+        });
+        m->counters("translator", &translator_->stats);
+        m->counters("runtime", &stats_);
+        if (options_.persist)
+            m->counters("persist", &options_.persist->stats);
     }
 }
 
@@ -303,6 +401,11 @@ Runtime::dispatchEntry(uint32_t eip, bool force_cold, bool fresh_cold)
         return -2;
     }
     ++dispatch_lookups_;
+    if (flight_)
+        flight_->record(flight::Kind::Dispatch, 0,
+                        machine_->totalCycles(),
+                        static_cast<int64_t>(eip),
+                        static_cast<int64_t>(dispatch_lookups_));
     SpecContext spec = currentSpec();
     BlockInfo *block = force_cold
         ? translator_->dispatchCold(eip, spec, fresh_cold)
@@ -570,8 +673,15 @@ Runtime::registerHot(int32_t block_id)
         SpecContext spec = currentSpec();
         if (hot_pipeline_) {
             enqueueHot(cand, spec);
-        } else if (!translator_->translateHot(cand->entry_eip, spec) &&
-                   !cand->invalidated) {
+            continue;
+        }
+        if (provenance_)
+            provenance_->note(cand->entry_eip, ProvState::HotQueued,
+                              ProvCause::Heat, cand->id,
+                              cache_.generation(),
+                              machine_->totalCycles());
+        if (!translator_->translateHot(cand->entry_eip, spec) &&
+            !cand->invalidated) {
             // Bounded retry: a transient abort leaves the block
             // eligible so the next threshold hit tries again; repeat
             // offenders are pinned cold (graceful degradation, not an
@@ -630,6 +740,14 @@ Runtime::enqueueHot(BlockInfo *cand, const SpecContext &spec)
                      {{"eip", static_cast<int64_t>(cand_eip)},
                       {"block", cand_id},
                       {"seq", static_cast<int64_t>(seq)}});
+    if (flight_)
+        flight_->record(flight::Kind::HotEnqueue, 0, now,
+                        static_cast<int64_t>(cand_eip),
+                        static_cast<int64_t>(seq));
+    if (provenance_)
+        provenance_->note(cand_eip, ProvState::HotQueued,
+                          ProvCause::Heat, cand_id, cache_.generation(),
+                          now);
 }
 
 void
@@ -919,6 +1037,11 @@ Runtime::finishRegionCheck(RegionEnd kind, const ia32::State &mstate,
                         {{"eip", static_cast<int64_t>(ck_eip_)},
                          {"end_eip",
                           static_cast<int64_t>(mstate.eip)}});
+    if (flight_)
+        flight_->record(flight::Kind::Divergence, 0,
+                        machine_->totalCycles(),
+                        static_cast<int64_t>(ck_eip_),
+                        static_cast<int64_t>(mstate.eip));
     return false;
 }
 
@@ -971,6 +1094,11 @@ Runtime::deliverFault(ia32::State *state, const ia32::Fault &fault,
                       RunResult *result)
 {
     stats_.add("faults.delivered");
+    if (flight_)
+        flight_->record(flight::Kind::GuestFault, 0,
+                        machine_->totalCycles(),
+                        static_cast<int64_t>(fault.kind),
+                        static_cast<int64_t>(fault.eip));
     btlib::ExceptionDisposition disp =
         btos_.deliverException(*state, fault);
     if (disp == btlib::ExceptionDisposition::Terminate) {
@@ -1042,6 +1170,8 @@ Runtime::run(ia32::State &state)
         adoptHotResults();
         if (profiler_)
             profiler_->maybeSample(machine_->totalCycles());
+        if (options_.metrics)
+            options_.metrics->maybeEmit(machine_->totalCycles());
 
         int64_t entry = dispatchEntry(next_eip, force_cold_once,
                                       fresh_cold_once);
@@ -1120,7 +1250,8 @@ Runtime::run(ia32::State &state)
             }
             if (sentinel_ && block &&
                 sentinel_->noteFault(block->entry_eip))
-                translator_->quarantineBlock(block);
+                translator_->quarantineBlock(
+                    block, ProvCause::FaultThreshold);
             if (!deliverFault(&state, fault, &result))
                 return result;
             next_eip = state.eip;
@@ -1268,7 +1399,8 @@ Runtime::run(ia32::State &state)
                 sentinel_->noteGuardMiss(block->entry_eip)) {
                 // Chronic guard mispredicts crossed the quarantine
                 // threshold: blacklist the artifact.
-                translator_->quarantineBlock(block);
+                translator_->quarantineBlock(
+                    block, ProvCause::GuardThreshold);
             }
             next_eip = block->entry_eip;
             break;
@@ -1328,7 +1460,8 @@ Runtime::run(ia32::State &state)
             }
             if (sentinel_ && block &&
                 sentinel_->noteFault(block->entry_eip))
-                translator_->quarantineBlock(block);
+                translator_->quarantineBlock(
+                    block, ProvCause::FaultThreshold);
             if (!deliverFault(&state, fault, &result))
                 return result;
             next_eip = state.eip;

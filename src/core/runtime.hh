@@ -19,11 +19,13 @@
 #include "btlib/btos.hh"
 #include "core/hot_pipeline.hh"
 #include "core/options.hh"
+#include "core/provenance.hh"
 #include "core/translator.hh"
 #include "ia32/state.hh"
 #include "ipf/machine.hh"
 #include "mem/memory.hh"
 #include "support/faultinject.hh"
+#include "support/flightrec.hh"
 #include "support/ring.hh"
 #include "support/sentinel.hh"
 #include "support/stats.hh"
@@ -82,6 +84,28 @@ class Runtime
 
     /** Dispatch-loop lookups serviced so far (monotonic). */
     uint64_t dispatchLookups() const { return dispatch_lookups_; }
+
+    /** The always-on flight recorder (null when Options disabled it). */
+    flight::FlightRecorder *flight() { return flight_.get(); }
+    const flight::FlightRecorder *flight() const { return flight_.get(); }
+
+    /** The artifact provenance ledger (null when disabled). */
+    ProvenanceLedger *provenance() { return provenance_.get(); }
+    const ProvenanceLedger *provenance() const
+    {
+        return provenance_.get();
+    }
+
+    /**
+     * Wait (wall-clock only) for in-flight pipeline sessions to land so
+     * worker-side flight events are complete. Call after run() before
+     * snapshotting the recorder or writing a postmortem bundle.
+     */
+    void quiesce()
+    {
+        if (hot_pipeline_)
+            hot_pipeline_->quiesce();
+    }
 
     /** Copy guest architectural state into the machine + runtime area. */
     void loadContext(const ia32::State &state);
@@ -204,6 +228,11 @@ class Runtime
     std::deque<int32_t> hot_queue_;
     trace::Tracer *trace_ = nullptr; //!< From Options; null = off.
     prof::Profiler *profiler_ = nullptr; //!< From Options; null = off.
+    // The always-on black box. Owned here (unlike the opt-in observers,
+    // which callers attach) and declared before hot_pipeline_ so worker
+    // threads are joined before the rings they write to are destroyed.
+    std::unique_ptr<flight::FlightRecorder> flight_;
+    std::unique_ptr<ProvenanceLedger> provenance_;
     uint64_t dispatch_lookups_ = 0; //!< dispatchEntry() calls (sampled
                                     //!< by the profiler time series).
     double fault_overhead_cycles_ = 0;

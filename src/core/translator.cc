@@ -3,6 +3,7 @@
 #include "ia32/decoder.hh"
 #include "persist/store.hh"
 #include "support/faultinject.hh"
+#include "support/flightrec.hh"
 #include "support/logging.hh"
 #include "support/sentinel.hh"
 #include "support/trace.hh"
@@ -82,6 +83,9 @@ Translator::flushCodeCache()
                      options.cache_flush_cost,
                      {{"generation",
                        static_cast<int64_t>(cache_.generation())}});
+    if (flight_)
+        flight_->record(flight::Kind::CacheFlush, 0, obsNow(),
+                        static_cast<int64_t>(cache_.generation()));
 }
 
 void
@@ -233,10 +237,12 @@ Translator::discardHotBlock(BlockInfo *block)
     MisalignHistory &h = misalign_[block->entry_eip];
     h.force_avoid = true;
     stats.add("hot.discarded_for_misalignment");
+    noteProv(block->entry_eip, ProvState::Discarded, ProvCause::Misalign,
+             block->id);
 }
 
 void
-Translator::quarantineBlock(BlockInfo *block)
+Translator::quarantineBlock(BlockInfo *block, ProvCause cause)
 {
     if (!block || block->invalidated)
         return;
@@ -247,8 +253,12 @@ Translator::quarantineBlock(BlockInfo *block)
     stats.add("sentinel.blocks_quarantined");
     // Convicted code must never ship: purge every store record at this
     // entry so the next save cannot resurrect it in another process.
-    if (options.persist)
+    if (options.persist) {
         options.persist->dropAt(block->entry_eip);
+        noteProv(block->entry_eip, ProvState::Discarded,
+                 ProvCause::QuarantinePurge, block->id);
+    }
+    noteProv(block->entry_eip, ProvState::Quarantined, cause, block->id);
     if (trace_)
         trace_->instant("quarantine", trace::Cat::Cache, 0, trace_now_(),
                         {{"block", block->id},
@@ -299,6 +309,8 @@ Translator::invalidateRange(uint32_t addr, uint32_t len)
             b.invalidated = true;
             cache_.invalidateEntry(b.cache_entry, ExitReason::Resync,
                                    b.entry_eip);
+            noteProv(b.entry_eip, ProvState::Discarded,
+                     ProvCause::SmcWrite, b.id);
             ++dropped;
         }
     }
@@ -309,6 +321,10 @@ Translator::invalidateRange(uint32_t addr, uint32_t len)
                         {{"addr", static_cast<int64_t>(addr)},
                          {"len", static_cast<int64_t>(len)},
                          {"blocks_dropped", dropped}});
+    if (flight_)
+        flight_->record(flight::Kind::SmcInvalidate, 0, obsNow(),
+                        static_cast<int64_t>(addr),
+                        static_cast<int64_t>(len), dropped);
 }
 
 BlockInfo *
@@ -573,6 +589,10 @@ Translator::translateColdImpl(uint32_t eip, const SpecContext &spec,
             flushCodeCache();
             return translateColdImpl(eip, spec, stage, false);
         }
+        if (prov_) {
+            noteProv(eip, ProvState::Decoded, ProvCause::None, info->id);
+            noteProv(eip, ProvState::Cold, ProvCause::None, info->id);
+        }
         cold_map_[eip].push_back({spec, info});
         blocks_.push_back(std::move(info_holder));
         return info;
@@ -700,6 +720,14 @@ Translator::translateColdImpl(uint32_t eip, const SpecContext &spec,
                       {"block", info->id},
                       {"insns",
                        static_cast<int64_t>(info->insn_count)}});
+    if (flight_)
+        flight_->record(flight::Kind::ColdXlate, 0, obsNow(),
+                        static_cast<int64_t>(eip), info->id,
+                        static_cast<int64_t>(info->insn_count));
+    if (prov_) {
+        noteProv(eip, ProvState::Decoded, ProvCause::None, info->id);
+        noteProv(eip, ProvState::Cold, ProvCause::None, info->id);
+    }
 
     cold_map_[eip].push_back({spec, info});
     blocks_.push_back(std::move(info_holder));
@@ -1007,6 +1035,32 @@ Translator::runHotSession(const HotSessionInput &in,
 BlockInfo *
 Translator::commitHotArtifact(HotArtifact &art)
 {
+    // Entry EIP for black-box bookkeeping: the proto knows it once a
+    // session ran; an artifact aborted before its session only carries
+    // the cold block id.
+    uint32_t prov_eip = art.proto.entry_eip;
+    if (prov_eip == 0)
+        if (BlockInfo *cold = blockById(art.cold_block_id))
+            prov_eip = cold->entry_eip;
+    auto discard = [&](ProvCause cause) {
+        if (flight_)
+            flight_->record(flight::Kind::HotDiscard, 0, obsNow(),
+                            static_cast<int64_t>(prov_eip),
+                            static_cast<int64_t>(cause));
+        noteProv(prov_eip, ProvState::Discarded, cause,
+                 art.cold_block_id);
+    };
+    if (prov_ && !art.from_store) {
+        // The session itself ran on a worker (or inline); stamp it at
+        // its planned completion time so the timeline is identical
+        // across translation_threads in deterministic mode.
+        double ts = art.ready_cycles > 0 ? art.ready_cycles : obsNow();
+        prov_->note(prov_eip, ProvState::Session,
+                    art.ok ? ProvCause::SessionOk
+                           : ProvCause::SessionAbort,
+                    art.cold_block_id, cache_.generation(), ts);
+    }
+
     if (!art.ok) {
         if (art.injected_abort)
             stats.add("hot.aborts_injected");
@@ -1015,6 +1069,7 @@ Translator::commitHotArtifact(HotArtifact &art)
         // A failed session still carries partial counters (e.g. the
         // sched.failures that killed it).
         stats.merge(art.stats);
+        discard(ProvCause::SessionAbort);
         return nullptr;
     }
 
@@ -1026,6 +1081,7 @@ Translator::commitHotArtifact(HotArtifact &art)
         // may happen, and it must start cold.
         stats.add("hot.quarantine_blocked");
         stats.merge(art.stats);
+        discard(ProvCause::QuarantineBlocked);
         return nullptr;
     }
 
@@ -1036,6 +1092,7 @@ Translator::commitHotArtifact(HotArtifact &art)
         // generation, so check it explicitly: the artifact was built
         // from bytes that no longer exist.
         stats.add("hot.discard_stale");
+        discard(ProvCause::SmcWrite);
         return nullptr;
     }
 
@@ -1068,6 +1125,7 @@ Translator::commitHotArtifact(HotArtifact &art)
         // Staged against a flushed generation: the trace was selected
         // from profile counters and cold blocks that no longer exist.
         stats.add("hot.discard_stale");
+        discard(ProvCause::StaleGeneration);
         return nullptr;
     }
 
@@ -1084,6 +1142,7 @@ Translator::commitHotArtifact(HotArtifact &art)
         // else; the caller treats this as a failed (retryable) session.
         stats.add("recover.cache_overflow_retry");
         flushCodeCache();
+        discard(ProvCause::CachePressure);
         return nullptr;
     }
 
@@ -1145,8 +1204,19 @@ Translator::commitHotArtifact(HotArtifact &art)
     }
 
     blocks_.push_back(std::move(info_holder));
-    if (record_it)
+    if (flight_)
+        flight_->record(flight::Kind::HotCommit, 0, obsNow(),
+                        static_cast<int64_t>(info->entry_eip), info->id,
+                        static_cast<int64_t>(info->insn_count));
+    noteProv(info->entry_eip,
+             art.from_store ? ProvState::Adopted : ProvState::Published,
+             art.from_store ? ProvCause::StoreHit : ProvCause::SessionOk,
+             info->id);
+    if (record_it) {
         store->record(std::move(rec));
+        noteProv(info->entry_eip, ProvState::Persisted,
+                 ProvCause::StoreRecord, info->id);
+    }
     return info;
 }
 
@@ -1191,6 +1261,13 @@ Translator::adoptPersisted(uint32_t eip, const SpecContext &spec)
         }
         if (!smc_ok) {
             store->stats.add("persist.smc_rejected");
+            if (flight_)
+                flight_->record(
+                    flight::Kind::PersistReject, 0, obsNow(),
+                    static_cast<int64_t>(eip),
+                    static_cast<int64_t>(ProvCause::SmcMismatch));
+            noteProv(eip, ProvState::Discarded, ProvCause::SmcMismatch,
+                     -1);
             continue;
         }
 
@@ -1227,6 +1304,10 @@ Translator::adoptPersisted(uint32_t eip, const SpecContext &spec)
                             trace_now_(),
                             {{"block", info->id},
                              {"eip", static_cast<int64_t>(eip)}});
+        if (flight_)
+            flight_->record(flight::Kind::PersistAdopt, 0, obsNow(),
+                            static_cast<int64_t>(eip),
+                            static_cast<int64_t>(info->insn_count));
         if (!match && specMatches(*info, spec))
             match = info;
     }
@@ -1259,6 +1340,10 @@ Translator::translateHot(uint32_t entry_eip, const SpecContext &spec)
     HotArtifact art;
     art.generation = cache_.generation();
     runHotSession(input, options, /*faults=*/nullptr, &art);
+    if (flight_)
+        flight_->record(flight::Kind::HotSession, 0, obsNow(),
+                        static_cast<int64_t>(entry_eip),
+                        static_cast<int64_t>(art.seq), art.ok ? 1 : 0);
 
     BlockInfo *info = commitHotArtifact(art);
     if (info && faultInjected(FaultSite::Miscompile)) {

@@ -20,6 +20,7 @@
 #include "core/emit_env.hh"
 #include "core/hot_pipeline.hh"
 #include "core/options.hh"
+#include "core/provenance.hh"
 #include "core/sched.hh"
 #include "ipf/code_cache.hh"
 #include "mem/memory.hh"
@@ -30,6 +31,11 @@ namespace el::trace
 {
 class Tracer;
 } // namespace el::trace
+
+namespace el::flight
+{
+class FlightRecorder;
+} // namespace el::flight
 
 namespace el::core
 {
@@ -156,7 +162,8 @@ class Translator
      * runtime; the sentinel's interpret gate keeps the EIP on the
      * interpreter until its cooldown allows a fresh cold translation.
      */
-    void quarantineBlock(BlockInfo *block);
+    void quarantineBlock(BlockInfo *block,
+                         ProvCause cause = ProvCause::SentinelDivergence);
 
     /** Drop every translation overlapping [addr, addr+len) (SMC). */
     void invalidateRange(uint32_t addr, uint32_t len);
@@ -227,6 +234,22 @@ class Translator
     {
         trace_ = tracer;
         trace_now_ = std::move(now);
+    }
+
+    /**
+     * Attach the always-on black box: the flight recorder and the
+     * artifact provenance ledger, with @p now supplying simulated
+     * timestamps (the Runtime passes the machine's cycle counter).
+     * Main-thread only, like setTrace — static session code never
+     * touches either sink, and neither charges simulated cycles.
+     */
+    void
+    setObservers(flight::FlightRecorder *flight, ProvenanceLedger *prov,
+                 std::function<double()> now)
+    {
+        flight_ = flight;
+        prov_ = prov;
+        obs_now_ = std::move(now);
     }
 
     /** Simulated translator cycles spent so far (charged by Runtime). */
@@ -352,6 +375,23 @@ class Translator
 
     trace::Tracer *trace_ = nullptr;  //!< Null = tracing off.
     std::function<double()> trace_now_; //!< Simulated-time source.
+
+    /** Simulated now for the black-box sinks (0 before attachment). */
+    double obsNow() const { return obs_now_ ? obs_now_() : 0; }
+
+    /** Provenance append; one branch when the ledger is detached. */
+    void
+    noteProv(uint32_t eip, ProvState state, ProvCause cause,
+             int32_t block_id)
+    {
+        if (prov_)
+            prov_->note(eip, state, cause, block_id, cache_.generation(),
+                        obsNow());
+    }
+
+    flight::FlightRecorder *flight_ = nullptr; //!< Null = recorder off.
+    ProvenanceLedger *prov_ = nullptr;         //!< Null = ledger off.
+    std::function<double()> obs_now_;          //!< Simulated-time source.
 };
 
 } // namespace el::core

@@ -32,6 +32,7 @@
 #include "guest/workloads.hh"
 #include "harness/exec.hh"
 #include "persist/store.hh"
+#include "support/logging.hh"
 #include "support/sentinel.hh"
 
 namespace
@@ -60,7 +61,9 @@ usage()
         "                         (validation always runs clean; used\n"
         "                         to prove miscompiled artifacts are\n"
         "                         rejected, see CI)\n"
-        "  --fault-seed=<n>       fault-injection PRNG seed\n");
+        "  --fault-seed=<n>       fault-injection PRNG seed\n"
+        "  --log-level=<l>        err|warn|info|debug (EL_LOG env\n"
+        "                         var is the fallback)\n");
 }
 
 std::vector<guest::Workload>
@@ -100,6 +103,8 @@ main(int argc, char **argv)
     FaultConfig fault;
     bool list = false;
 
+    initLogLevelFromEnv(); // Explicit --log-level below overrides.
+
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto value = [&](const char *prefix) -> const char * {
@@ -133,6 +138,15 @@ main(int argc, char **argv)
                            std::atoi(spec.c_str() + colon + 1)));
         } else if (const char *v = value("--fault-seed=")) {
             fault.seed = static_cast<uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--log-level=")) {
+            int level = parseLogLevel(v);
+            if (level < 0) {
+                std::fprintf(stderr,
+                             "el_aot: bad --log-level '%s' (want "
+                             "err|warn|info|debug)\n", v);
+                return exit_usage;
+            }
+            log_level = level;
         } else if (arg == "--help") {
             usage();
             return exit_ok;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "support/json.hh"
+#include "support/logging.hh"
 
 namespace
 {
@@ -41,7 +42,16 @@ usage()
         "  --annotate[=<n>] annotated listing of the <n> hottest\n"
         "                   blocks (default 5)\n"
         "  --csv[=<file>]   dump the time series as CSV\n"
-        "  --check          validate the schema and exit (0 = ok)\n");
+        "  --check          validate the schema and exit (0 = ok)\n"
+        "  --provenance[=<eip>|all]\n"
+        "                   read a postmortem bundle (el_run\n"
+        "                   --dump-on-exit) instead of a profile and\n"
+        "                   print artifact lifecycle timelines: the\n"
+        "                   final hot set by default, one entry point\n"
+        "                   when <eip> (hex ok) is given, everything\n"
+        "                   with 'all'\n"
+        "  --log-level=<l>  err|warn|info|debug (EL_LOG env var is\n"
+        "                   the fallback)\n");
 }
 
 /** The rows of array member @p key, sorted descending by @p by. */
@@ -253,6 +263,84 @@ dumpCsv(const Value &root, const std::string &path)
     return 0;
 }
 
+/**
+ * Render provenance timelines from a postmortem bundle. @p filter is
+ * empty (final hot set only), "all", or one entry point (hex or
+ * decimal). Returns the process exit code.
+ */
+int
+printProvenance(const Value &root, const std::string &path,
+                const std::string &filter)
+{
+    if (root.strOr("kind", "") != "el-postmortem" ||
+        root.numberOr("version", 0) != 1) {
+        std::fprintf(stderr,
+                     "el_prof: %s is not an el-postmortem bundle "
+                     "(write one with el_run --dump-on-exit)\n",
+                     path.c_str());
+        return 2;
+    }
+    const Value *prov = root.find("provenance");
+    if (!prov || !prov->isArray()) {
+        std::fprintf(stderr,
+                     "el_prof: %s has no provenance ledger (was the "
+                     "run made with --no-flight?)\n", path.c_str());
+        return 2;
+    }
+
+    bool all = filter == "all";
+    bool has_eip = false;
+    unsigned long long want_eip = 0;
+    if (!filter.empty() && !all) {
+        want_eip = std::strtoull(filter.c_str(), nullptr,
+                                 filter.compare(0, 2, "0x") == 0 ? 16
+                                                                 : 0);
+        has_eip = true;
+    }
+
+    const Value *exit_obj = root.find("exit");
+    std::printf("postmortem: %s  workload=%s  exit=%s(%.0f)\n\n",
+                path.c_str(), root.strOr("workload", "?").c_str(),
+                exit_obj ? exit_obj->strOr("class", "?").c_str() : "?",
+                exit_obj ? exit_obj->numberOr("code", 0) : 0.0);
+
+    size_t shown = 0;
+    for (const Value &entry : prov->arr) {
+        unsigned long long eip =
+            (unsigned long long)entry.numberOr("eip", 0);
+        const Value *hv = entry.find("in_hot_set");
+        bool hot = hv && hv->kind == Value::Kind::Bool && hv->b;
+        if (has_eip ? eip != want_eip : (!all && !hot))
+            continue;
+        ++shown;
+        std::printf("%08llx%s:\n", eip,
+                    hot ? " (in final hot set)" : "");
+        const Value *timeline = entry.find("timeline");
+        if (timeline && timeline->isArray())
+            for (const Value &e : timeline->arr)
+                std::printf("  %12.0f  %-12s %-18s block=%.0f "
+                            "gen=%.0f\n",
+                            e.numberOr("ts", 0),
+                            e.strOr("state", "?").c_str(),
+                            e.strOr("cause", "?").c_str(),
+                            e.numberOr("block", -1),
+                            e.numberOr("generation", 0));
+        if (entry.numberOr("dropped", 0) > 0)
+            std::printf("  (… %.0f older events dropped)\n",
+                        entry.numberOr("dropped", 0));
+        std::printf("\n");
+    }
+    if (shown == 0) {
+        if (has_eip)
+            std::printf("%08llx: no provenance recorded\n", want_eip);
+        else
+            std::printf("no hot translations were live at exit "
+                        "(use --provenance=all for every entry "
+                        "point)\n");
+    }
+    return 0;
+}
+
 /** Is @p root a well-formed el-profile document? */
 bool
 checkSchema(const Value &root, std::string *error)
@@ -321,9 +409,11 @@ checkSchema(const Value &root, std::string *error)
 int
 main(int argc, char **argv)
 {
-    std::string path, csv_path;
+    std::string path, csv_path, prov_filter;
     size_t top = 10, annotate = 0;
-    bool csv = false, check = false;
+    bool csv = false, check = false, provenance = false;
+
+    el::initLogLevelFromEnv(); // Explicit --log-level overrides.
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -344,6 +434,23 @@ main(int argc, char **argv)
             csv_path = arg.c_str() + 6;
         } else if (arg == "--check") {
             check = true;
+        } else if (arg == "--provenance") {
+            provenance = true;
+        } else if (arg.compare(0, 13, "--provenance=") == 0 &&
+                   arg.size() > 13) {
+            provenance = true;
+            prov_filter = arg.c_str() + 13;
+        } else if (arg.compare(0, 12, "--log-level=") == 0 &&
+                   arg.size() > 12) {
+            int level = el::parseLogLevel(arg.c_str() + 12);
+            if (level < 0) {
+                std::fprintf(stderr,
+                             "el_prof: bad --log-level '%s' (want "
+                             "err|warn|info|debug)\n",
+                             arg.c_str() + 12);
+                return 1;
+            }
+            el::log_level = level;
         } else if (arg.compare(0, 2, "--") == 0) {
             std::fprintf(stderr, "el_prof: unknown argument '%s'\n",
                          arg.c_str());
@@ -376,6 +483,8 @@ main(int argc, char **argv)
                      path.c_str(), error.c_str());
         return 2;
     }
+    if (provenance)
+        return printProvenance(root, path, prov_filter);
     if (!checkSchema(root, &error)) {
         std::fprintf(stderr, "el_prof: %s: bad profile: %s\n",
                      path.c_str(), error.c_str());

@@ -90,6 +90,9 @@ runTranslated(const guest::Image &image, btlib::OsAbi abi,
     state.gpr[ia32::RegEsp] = esp;
 
     core::RunResult rr = run.runtime->run(state);
+    // Let tail-end pipeline sessions land so the flight recorder and
+    // any postmortem bundle see the same events on every run.
+    run.runtime->quiesce();
     Outcome &out = run.outcome;
     switch (rr.kind) {
       case core::RunResult::Kind::Exit:

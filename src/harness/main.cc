@@ -21,11 +21,14 @@
 #include <vector>
 
 #include "btlib/abi.hh"
+#include "core/postmortem.hh"
 #include "core/report.hh"
 #include "guest/workloads.hh"
 #include "ia32/assembler.hh"
 #include "harness/exec.hh"
 #include "persist/store.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/profile.hh"
 #include "support/sentinel.hh"
 #include "support/trace.hh"
@@ -85,7 +88,26 @@ usage()
         "                         (default 8)\n"
         "  --profile-ring=<n>     time-series ring capacity (default\n"
         "                         512; oldest samples dropped)\n"
-        "  --validate-trace=<f>   validate a trace file and exit\n");
+        "  --validate-trace=<f>   validate a trace file and exit\n"
+        "  --metrics-out=<file>   write live telemetry snapshots as\n"
+        "                         NDJSON (one el-metrics object per\n"
+        "                         sampling period)\n"
+        "  --metrics-period=<n>   snapshot period, simulated cycles\n"
+        "                         (default 50000)\n"
+        "  --postmortem-out=<f>   postmortem bundle path (default\n"
+        "                         postmortem.json); written on any\n"
+        "                         abnormal exit (codes 10/20/30),\n"
+        "                         after injected faults fired, or\n"
+        "                         when --dump-on-exit is given\n"
+        "  --dump-on-exit         write the postmortem bundle even on\n"
+        "                         a clean exit\n"
+        "  --no-flight            disable the always-on flight\n"
+        "                         recorder + provenance ledger (A/B\n"
+        "                         overhead comparisons)\n"
+        "  --flight-ring=<n>      per-thread flight ring capacity in\n"
+        "                         events (default 1024)\n"
+        "  --log-level=<l>        err|warn|info|debug (default warn;\n"
+        "                         EL_LOG env var is the fallback)\n");
 }
 
 /**
@@ -167,10 +189,15 @@ main(int argc, char **argv)
 {
     std::string workload_name = "gzip";
     std::string trace_out, report_json, profile_out, cache_dir;
+    std::string metrics_out, postmortem_out = "postmortem.json";
+    uint64_t metrics_period = 50000;
+    bool dump_on_exit = false;
     core::Options options;
     prof::Config prof_cfg;
     sentinel::Config sentinel_cfg;
     bool list = false;
+
+    initLogLevelFromEnv(); // Explicit --log-level below overrides.
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -235,6 +262,28 @@ main(int argc, char **argv)
                 static_cast<size_t>(std::atoll(v));
         } else if (const char *v = value("--validate-trace=")) {
             return validateTraceFile(v);
+        } else if (const char *v = value("--metrics-out=")) {
+            metrics_out = v;
+        } else if (const char *v = value("--metrics-period=")) {
+            metrics_period = static_cast<uint64_t>(std::atoll(v));
+        } else if (const char *v = value("--postmortem-out=")) {
+            postmortem_out = v;
+        } else if (arg == "--dump-on-exit") {
+            dump_on_exit = true;
+        } else if (arg == "--no-flight") {
+            options.flight_recorder = false;
+        } else if (const char *v = value("--flight-ring=")) {
+            options.flight_ring_capacity =
+                static_cast<uint32_t>(std::atoi(v));
+        } else if (const char *v = value("--log-level=")) {
+            int level = parseLogLevel(v);
+            if (level < 0) {
+                std::fprintf(stderr,
+                             "el_run: bad --log-level '%s' (want "
+                             "err|warn|info|debug)\n", v);
+                return exit_usage;
+            }
+            log_level = level;
         } else if (arg == "--help") {
             usage();
             return exit_ok;
@@ -283,6 +332,17 @@ main(int argc, char **argv)
     sentinel::Sentinel sentinel(sentinel_cfg);
     if (sentinel_cfg.selfcheck_rate > 0)
         options.sentinel = &sentinel;
+
+    metrics::Registry metrics;
+    if (!metrics_out.empty()) {
+        if (!metrics.openOutput(metrics_out)) {
+            std::fprintf(stderr, "el_run: cannot write %s\n",
+                         metrics_out.c_str());
+            return exit_io;
+        }
+        metrics.setPeriod(metrics_period);
+        options.metrics = &metrics;
+    }
 
     persist::ArtifactStore store;
     bool warm = false;
@@ -406,11 +466,41 @@ main(int argc, char **argv)
         std::fprintf(stderr, "el_run: internal error: %s\n",
                      run.outcome.internal_reason.c_str());
 
-    if (options.sentinel && sentinel.totalDivergences() > 0)
-        return exit_divergence;
-    if (run.outcome.faulted)
-        return exit_guest_fault;
-    if (!run.outcome.exited)
-        return exit_internal;
-    return exit_ok;
+    if (!metrics_out.empty()) {
+        // One final snapshot at the terminal cycle, so short runs that
+        // never crossed a period boundary still produce a line.
+        metrics.emit(run.outcome.cycles);
+        std::printf("metrics: %s (%llu snapshots)\n",
+                    metrics_out.c_str(),
+                    static_cast<unsigned long long>(
+                        metrics.snapshots()));
+    }
+
+    int code = exit_ok;
+    const char *exit_class = "ok";
+    if (options.sentinel && sentinel.totalDivergences() > 0) {
+        code = exit_divergence;
+        exit_class = "divergence";
+    } else if (run.outcome.faulted) {
+        code = exit_guest_fault;
+        exit_class = "guest_fault";
+    } else if (!run.outcome.exited) {
+        code = exit_internal;
+        exit_class = "internal";
+    }
+
+    const FaultInjector *fi = run.runtime->faultInjector();
+    bool injected = fi && fi->totalFires() > 0;
+    if (code != exit_ok || injected || dump_on_exit) {
+        core::PostmortemInfo pm;
+        pm.workload = wl->name;
+        pm.exit_class = exit_class;
+        pm.exit_code = code;
+        if (!core::writePostmortem(*run.runtime, pm, postmortem_out))
+            std::fprintf(stderr, "el_run: cannot write %s\n",
+                         postmortem_out.c_str());
+        else
+            std::printf("postmortem: %s\n", postmortem_out.c_str());
+    }
+    return code;
 }

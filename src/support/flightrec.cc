@@ -1,0 +1,113 @@
+#include "support/flightrec.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace el::flight
+{
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Dispatch:
+        return "dispatch";
+      case Kind::ColdXlate:
+        return "cold_xlate";
+      case Kind::HotEnqueue:
+        return "hot_enqueue";
+      case Kind::HotSession:
+        return "hot_session";
+      case Kind::HotCommit:
+        return "hot_commit";
+      case Kind::HotDiscard:
+        return "hot_discard";
+      case Kind::SmcInvalidate:
+        return "smc_invalidate";
+      case Kind::CacheFlush:
+        return "cache_flush";
+      case Kind::PersistAdopt:
+        return "persist_adopt";
+      case Kind::PersistReject:
+        return "persist_reject";
+      case Kind::SentinelShift:
+        return "sentinel_shift";
+      case Kind::Divergence:
+        return "divergence";
+      case Kind::FaultInject:
+        return "fault_inject";
+      case Kind::GuestFault:
+        return "guest_fault";
+    }
+    return "?";
+}
+
+uint64_t
+FlightRecorder::nextInstanceId()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+FlightRecorder::Ring *
+FlightRecorder::threadRing()
+{
+    // Same per-thread cache as the tracer's: one recorder per run is
+    // the common case, so the hot path is two compares. The instance
+    // id guards against address reuse across recorder lifetimes.
+    struct Cache
+    {
+        const FlightRecorder *owner = nullptr;
+        uint64_t owner_id = 0;
+        Ring *ring = nullptr;
+    };
+    thread_local Cache cache;
+    if (cache.owner == this && cache.owner_id == instance_id_)
+        return cache.ring;
+
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    rings_.push_back(std::make_unique<Ring>(ring_capacity_));
+    cache.owner = this;
+    cache.owner_id = instance_id_;
+    cache.ring = rings_.back().get();
+    return cache.ring;
+}
+
+std::vector<Event>
+FlightRecorder::snapshot() const
+{
+    std::vector<Event> out;
+    {
+        std::lock_guard<std::mutex> lk(rings_mu_);
+        for (const auto &ring : rings_) {
+            std::lock_guard<std::mutex> rlk(ring->mu);
+            out.insert(out.end(), ring->events.begin(),
+                       ring->events.end());
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Event &x, const Event &y) {
+                         if (x.ts != y.ts)
+                             return x.ts < y.ts;
+                         if (x.lane != y.lane)
+                             return x.lane < y.lane;
+                         if (x.kind != y.kind)
+                             return x.kind < y.kind;
+                         return x.a < y.a;
+                     });
+    return out;
+}
+
+uint64_t
+FlightRecorder::dropped() const
+{
+    uint64_t n = 0;
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    for (const auto &ring : rings_) {
+        std::lock_guard<std::mutex> rlk(ring->mu);
+        n += ring->events.dropped();
+    }
+    return n;
+}
+
+} // namespace el::flight

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Always-on flight recorder: the translator's black box.
+ *
+ * Unlike the opt-in lifecycle tracer (support/trace.hh), the flight
+ * recorder runs on every invocation by default and keeps only the
+ * *last* N structured events per thread: fixed-size bounded rings with
+ * drop-oldest overflow, so when a run ends abnormally the tail of the
+ * flight — the part that explains the failure — is always present.
+ * The tracer makes the opposite choice (drop-newest) because its job
+ * is a faithful prefix for timeline viewers.
+ *
+ * Events are fixed-width PODs (a kind code, a logical lane, a
+ * simulated-cycle timestamp, and three integer payload words), not
+ * name/arg pairs: recording is a ring push under a per-thread mutex
+ * with no allocation, cheap enough to leave on in production. Lanes
+ * follow the tracer's convention — lane 0 is the guest/runtime thread,
+ * lane 1+k is hot-pipeline worker slot k — and worker events carry
+ * *planned* simulated times from the candidate, never wall clock, so a
+ * deterministic run yields a bit-identical merged flight regardless of
+ * host scheduling.
+ *
+ * Recording charges zero simulated cycles and every hook is a single
+ * null-check branch when the recorder is detached, so guest results
+ * and cycle counts are bit-exact with the recorder on or off.
+ */
+
+#ifndef EL_SUPPORT_FLIGHTREC_HH
+#define EL_SUPPORT_FLIGHTREC_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/ring.hh"
+
+namespace el::flight
+{
+
+/** What happened. Names for export via kindName(). */
+enum class Kind : uint8_t
+{
+    Dispatch,       //!< Block-map lookup at a dispatch boundary (a=eip).
+    ColdXlate,      //!< Cold block translated (a=eip, b=block id, c=insns).
+    HotEnqueue,     //!< Candidate queued to the hot pipeline (a=eip, b=seq).
+    HotSession,     //!< Worker session ran (a=eip, b=seq, c=ok).
+    HotCommit,      //!< Hot artifact published (a=eip, b=block id, c=insns).
+    HotDiscard,     //!< Hot artifact rejected at commit (a=eip, b=cause).
+    SmcInvalidate,  //!< Self-modifying write killed blocks (a=addr, b=len, c=count).
+    CacheFlush,     //!< Code cache flushed (a=generation).
+    PersistAdopt,   //!< Stored artifact adopted (a=eip, b=insns).
+    PersistReject,  //!< Stored artifact rejected (a=eip, b=cause).
+    SentinelShift,  //!< Health transition (a=eip, b=from, c=to).
+    Divergence,     //!< Shadow-execution mismatch (a=checkpoint eip, b=boundary eip).
+    FaultInject,    //!< Injected fault fired (a=site, b=fire #).
+    GuestFault,     //!< Guest fault delivered (a=eip, b=fault kind).
+};
+
+const char *kindName(Kind kind);
+
+/** One fixed-width recorded event; see Kind for payload meanings. */
+struct Event
+{
+    Kind kind = Kind::Dispatch;
+    uint32_t lane = 0; //!< 0 = guest thread, 1+k = worker slot k.
+    double ts = 0;     //!< Simulated cycles (planned time on workers).
+    int64_t a = 0;
+    int64_t b = 0;
+    int64_t c = 0;
+};
+
+/** The recorder. One instance per run; always-on by default. */
+class FlightRecorder
+{
+  public:
+    /** @p ring_capacity Per-thread ring size in events (last-N kept). */
+    explicit FlightRecorder(size_t ring_capacity = 1024)
+        : ring_capacity_(ring_capacity ? ring_capacity : 1)
+    {}
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Record one event into the calling thread's ring. */
+    void
+    record(Kind kind, uint32_t lane, double ts, int64_t a = 0,
+           int64_t b = 0, int64_t c = 0)
+    {
+        Ring *ring = threadRing();
+        std::lock_guard<std::mutex> lk(ring->mu);
+        ring->events.push(Event{kind, lane, ts, a, b, c});
+    }
+
+    /**
+     * Merged view of every ring, sorted by (ts, lane, kind, a) — a
+     * deterministic order for a deterministic event set, independent
+     * of which host thread recorded what when.
+     */
+    std::vector<Event> snapshot() const;
+
+    /** Oldest events evicted on ring overflow, across all rings. */
+    uint64_t dropped() const;
+
+    size_t ringCapacity() const { return ring_capacity_; }
+
+  private:
+    /** One host thread's bounded event buffer. Drop-oldest: the tail
+     *  of the run (what a postmortem needs) survives overflow. */
+    struct Ring
+    {
+        mutable std::mutex mu; //!< Owner appends; snapshot() reads.
+        BoundedRing<Event> events;
+
+        explicit Ring(size_t capacity)
+            : events(capacity, RingPolicy::DropOldest)
+        {}
+    };
+
+    /** The calling thread's ring (created on first use). */
+    Ring *threadRing();
+
+    size_t ring_capacity_;
+    /** Distinguishes this instance from a dead recorder that occupied
+     *  the same address (the per-thread ring cache keys on both). */
+    uint64_t instance_id_ = nextInstanceId();
+    mutable std::mutex rings_mu_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+
+    static uint64_t nextInstanceId();
+};
+
+} // namespace el::flight
+
+#endif // EL_SUPPORT_FLIGHTREC_HH

@@ -8,6 +8,53 @@ namespace el
 
 int log_level = 1;
 
+int
+parseLogLevel(const std::string &name)
+{
+    if (name == "err" || name == "error" || name == "0")
+        return 0;
+    if (name == "warn" || name == "warning" || name == "1")
+        return 1;
+    if (name == "info" || name == "inform" || name == "2")
+        return 2;
+    if (name == "debug" || name == "3")
+        return 3;
+    return -1;
+}
+
+const char *
+logLevelName(int level)
+{
+    switch (level) {
+      case 0:
+        return "err";
+      case 1:
+        return "warn";
+      case 2:
+        return "info";
+      case 3:
+        return "debug";
+    }
+    return "?";
+}
+
+void
+initLogLevelFromEnv()
+{
+    const char *env = std::getenv("EL_LOG");
+    if (!env || !*env)
+        return;
+    int level = parseLogLevel(env);
+    if (level < 0) {
+        std::fprintf(stderr,
+                     "warn: EL_LOG=%s is not err|warn|info|debug; "
+                     "keeping level %s\n",
+                     env, logLevelName(log_level));
+        return;
+    }
+    log_level = level;
+}
+
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {

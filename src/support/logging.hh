@@ -23,6 +23,24 @@ namespace el
 /** Verbosity control: 0 = errors only, 1 = warn, 2 = inform, 3 = debug. */
 extern int log_level;
 
+/**
+ * Parse a `--log-level=` value: the canonical names err|warn|info|debug
+ * (plus the common spellings error/warning/inform and bare digits
+ * 0..3). Returns the level, or -1 when @p name is unrecognized.
+ */
+int parseLogLevel(const std::string &name);
+
+/** Canonical name for @p level ("err", "warn", "info", "debug"). */
+const char *logLevelName(int level);
+
+/**
+ * Initialize `log_level` from the EL_LOG environment variable if it is
+ * set and parses; an unparseable value is reported (and ignored) so a
+ * typo never silently changes verbosity. Tools call this before flag
+ * parsing — an explicit `--log-level=` wins over the environment.
+ */
+void initLogLevelFromEnv();
+
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const std::string &msg);

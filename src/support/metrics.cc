@@ -1,0 +1,80 @@
+#include "support/metrics.hh"
+
+#include "support/json.hh"
+
+namespace el::metrics
+{
+
+bool
+Registry::openOutput(const std::string &path)
+{
+    closeOutput();
+    out_ = std::fopen(path.c_str(), "w");
+    return out_ != nullptr;
+}
+
+void
+Registry::closeOutput()
+{
+    if (out_) {
+        std::fclose(out_);
+        out_ = nullptr;
+    }
+}
+
+void
+Registry::emit(double cycle)
+{
+    ++snapshots_;
+    if (!out_)
+        return;
+    std::string line = snapshotJson(cycle);
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fputc('\n', out_);
+    // Flush per line: an abnormal exit must still leave whole,
+    // parseable snapshots behind.
+    std::fflush(out_);
+}
+
+std::string
+Registry::snapshotJson(double cycle) const
+{
+    json::Writer w;
+    w.beginObject();
+    w.kv("kind", "el-metrics");
+    w.kv("version", 1);
+    w.kv("cycle", cycle);
+    w.key("gauges");
+    w.beginObject();
+    for (const Gauge &g : gauges_)
+        w.kv(g.name.c_str(), g.read ? g.read() : 0.0);
+    w.endObject();
+    w.key("counters");
+    w.beginObject();
+    for (const CounterGroup &cg : counter_groups_) {
+        if (!cg.group)
+            continue;
+        for (const auto &[name, value] : cg.group->all())
+            w.kv((cg.prefix + "." + name).c_str(), value);
+    }
+    w.endObject();
+    w.key("histograms");
+    w.beginObject();
+    for (const Hist &h : histograms_) {
+        if (!h.h)
+            continue;
+        w.key(h.name.c_str());
+        w.beginObject();
+        w.kv("count", h.h->totalSamples());
+        w.kv("mean", h.h->mean());
+        w.kv("p50", h.h->percentile(50));
+        w.kv("p90", h.h->percentile(90));
+        w.kv("p99", h.h->percentile(99));
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace el::metrics

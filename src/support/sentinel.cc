@@ -47,13 +47,15 @@ Sentinel::noteFault(uint32_t entry_eip)
     HealthRecord &r = row(entry_eip);
     ++r.faults;
     if (r.state == Health::Healthy && cfg_.fault_suspect_threshold &&
-        r.faults >= cfg_.fault_suspect_threshold)
+        r.faults >= cfg_.fault_suspect_threshold) {
         r.state = Health::Suspect;
+        notifyShift(entry_eip, Health::Healthy, r.pinned, r);
+    }
     if ((r.state == Health::Healthy || r.state == Health::Suspect ||
          r.state == Health::Retranslated) &&
         cfg_.fault_quarantine_threshold &&
         r.faults >= cfg_.fault_quarantine_threshold) {
-        enterQuarantine(r);
+        enterQuarantine(entry_eip, r);
         r.faults = 0; // A fresh translation starts from a clean count.
         return true;
     }
@@ -66,13 +68,15 @@ Sentinel::noteGuardMiss(uint32_t entry_eip)
     HealthRecord &r = row(entry_eip);
     ++r.guard_misses;
     if (r.state == Health::Healthy && cfg_.guard_quarantine_threshold &&
-        r.guard_misses >= cfg_.guard_quarantine_threshold / 2 + 1)
+        r.guard_misses >= cfg_.guard_quarantine_threshold / 2 + 1) {
         r.state = Health::Suspect;
+        notifyShift(entry_eip, Health::Healthy, r.pinned, r);
+    }
     if ((r.state == Health::Healthy || r.state == Health::Suspect ||
          r.state == Health::Retranslated) &&
         cfg_.guard_quarantine_threshold &&
         r.guard_misses >= cfg_.guard_quarantine_threshold) {
-        enterQuarantine(r);
+        enterQuarantine(entry_eip, r);
         r.guard_misses = 0;
         return true;
     }
@@ -85,12 +89,14 @@ Sentinel::noteDivergence(uint32_t entry_eip)
     ++total_divergences_;
     HealthRecord &r = row(entry_eip);
     ++r.divergences;
-    enterQuarantine(r);
+    enterQuarantine(entry_eip, r);
 }
 
 void
-Sentinel::enterQuarantine(HealthRecord &r)
+Sentinel::enterQuarantine(uint32_t eip, HealthRecord &r)
 {
+    Health before = r.state;
+    bool was_pinned = r.pinned;
     r.state = Health::Quarantined;
     if (r.retries >= cfg_.retranslate_limit) {
         r.pinned = true;
@@ -98,6 +104,7 @@ Sentinel::enterQuarantine(HealthRecord &r)
     } else {
         r.cooldown_left = cfg_.quarantine_cooldown;
     }
+    notifyShift(eip, before, was_pinned, r);
 }
 
 void
@@ -139,6 +146,7 @@ Sentinel::tickCooldown(uint32_t eip)
         // Served its quarantine: allow one fresh cold translation.
         ++r.retries;
         r.state = Health::Retranslated;
+        notifyShift(eip, Health::Quarantined, r.pinned, r);
     }
 }
 

@@ -37,6 +37,7 @@
 #define EL_SUPPORT_SENTINEL_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -172,6 +173,23 @@ class Sentinel
      */
     void tickCooldown(uint32_t eip);
 
+    // ----- observability --------------------------------------------
+
+    /**
+     * Invoked on every health-state transition (and on pinning) with
+     * the entry EIP, the state left, the state entered, and whether
+     * the record is now pinned. Installed by the runtime to feed the
+     * flight recorder / provenance ledger; never charges cycles and
+     * must not call back into the sentinel.
+     */
+    using TransitionFn =
+        std::function<void(uint32_t eip, Health from, Health to,
+                           bool pinned)>;
+    void setTransitionListener(TransitionFn fn)
+    {
+        on_transition_ = std::move(fn);
+    }
+
     // ----- introspection --------------------------------------------
 
     const HealthRecord *record(uint32_t eip) const;
@@ -190,13 +208,23 @@ class Sentinel
     HealthRecord &row(uint32_t eip) { return ledger_[eip]; }
 
     /** Shared Quarantined-entry transition (divergence + threshold). */
-    void enterQuarantine(HealthRecord &r);
+    void enterQuarantine(uint32_t eip, HealthRecord &r);
+
+    /** Fire the transition listener when the state actually moved. */
+    void
+    notifyShift(uint32_t eip, Health from, bool was_pinned,
+                const HealthRecord &r)
+    {
+        if (on_transition_ && (from != r.state || was_pinned != r.pinned))
+            on_transition_(eip, from, r.state, r.pinned);
+    }
 
     Config cfg_;
     uint64_t regions_seen_ = 0;
     uint64_t total_divergences_ = 0;
     std::map<uint32_t, HealthRecord> ledger_;
     BoundedRing<DivergenceInfo> divergence_log_;
+    TransitionFn on_transition_;
 };
 
 } // namespace el::sentinel

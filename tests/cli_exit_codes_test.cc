@@ -6,14 +6,24 @@
  * internal error, 30 a sentinel-detected divergence. The binary under
  * test comes from the EL_RUN_BIN environment variable, which the CMake
  * test registration points at the just-built el_run.
+ *
+ * Every abnormal exit must also leave a postmortem bundle behind: the
+ * second half of this file runs each failure class with an explicit
+ * --postmortem-out and asserts the bundle is schema-valid and names
+ * the exit class it was written for.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <sys/wait.h>
+
+#include "support/json.hh"
 
 namespace
 {
@@ -34,6 +44,47 @@ runCli(const std::string &args)
     return WEXITSTATUS(rc);
 }
 
+std::string
+tmpBundlePath(const std::string &tag)
+{
+    return testing::TempDir() + "el_postmortem_" + tag + ".json";
+}
+
+/** Run el_run writing a postmortem to @p path; parse it into @p root. */
+int
+runCliWithBundle(const std::string &args, const std::string &path,
+                 el::json::Value *root)
+{
+    std::remove(path.c_str());
+    int code = runCli(args + " --postmortem-out=" + path);
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "no postmortem bundle at " << path;
+    if (!in.good())
+        return code;
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    EXPECT_TRUE(el::json::Parser::parse(text.str(), root, &error))
+        << "postmortem is not valid JSON: " << error;
+    return code;
+}
+
+/** The invariants every bundle must satisfy, per DESIGN.md §12. */
+void
+expectBundleSchema(const el::json::Value &root,
+                   const std::string &exit_class, int exit_code)
+{
+    using el::json::Value;
+    ASSERT_TRUE(root.isObject());
+    EXPECT_EQ(root.strOr("kind", ""), "el-postmortem");
+    EXPECT_EQ(root.numberOr("version", 0), 1.0);
+    const Value *exit = root.find("exit");
+    ASSERT_NE(exit, nullptr);
+    EXPECT_EQ(exit->strOr("class", ""), exit_class);
+    EXPECT_EQ(exit->numberOr("code", -1),
+              static_cast<double>(exit_code));
+}
+
 TEST(CliExitCodes, CleanRunIsZero)
 {
     EXPECT_EQ(runCli("--workload=jit_rewriter"), 0);
@@ -44,12 +95,16 @@ TEST(CliExitCodes, UsageErrorIsOne)
     EXPECT_EQ(runCli("--no-such-flag"), 1);
     EXPECT_EQ(runCli("--workload="), 1);
     EXPECT_EQ(runCli("--workload=no_such_personality"), 1);
+    EXPECT_EQ(runCli("--workload=jit_rewriter --log-level=verbose"), 1);
 }
 
 TEST(CliExitCodes, IoErrorIsTwo)
 {
     EXPECT_EQ(runCli("--workload=jit_rewriter "
                      "--report-json=/no/such/dir/report.json"),
+              2);
+    EXPECT_EQ(runCli("--workload=jit_rewriter "
+                     "--metrics-out=/no/such/dir/metrics.ndjson"),
               2);
 }
 
@@ -76,6 +131,113 @@ TEST(CliExitCodes, SentinelDivergenceIsThirty)
     EXPECT_EQ(runCli("--workload=jit_rewriter --fault=miscompile:128 "
                      "--fault-seed=1 --selfcheck=1"),
               30);
+}
+
+// ----- postmortem bundles on abnormal exit ------------------------------
+
+TEST(CliPostmortem, CleanRunWritesNoBundle)
+{
+    std::string path = tmpBundlePath("clean");
+    std::remove(path.c_str());
+    EXPECT_EQ(runCli("--workload=jit_rewriter --postmortem-out=" + path),
+              0);
+    std::ifstream in(path);
+    EXPECT_FALSE(in.good())
+        << "a clean, uninjected run must not write a postmortem";
+}
+
+TEST(CliPostmortem, DumpOnExitForcesABundle)
+{
+    using el::json::Value;
+    Value root;
+    std::string path = tmpBundlePath("forced");
+    int code = runCliWithBundle(
+        "--workload=jit_rewriter --dump-on-exit", path, &root);
+    EXPECT_EQ(code, 0);
+    expectBundleSchema(root, "ok", 0);
+    // A healthy run still carries the full observability payload.
+    const Value *fl = root.find("flight");
+    ASSERT_NE(fl, nullptr);
+    const Value *events = fl->find("events");
+    ASSERT_NE(events, nullptr);
+    EXPECT_TRUE(events->isArray());
+    EXPECT_FALSE(events->arr.empty());
+}
+
+TEST(CliPostmortem, GuestFaultBundleNamesTheFault)
+{
+    using el::json::Value;
+    Value root;
+    std::string path = tmpBundlePath("guest_fault");
+    int code =
+        runCliWithBundle("--workload=faulter", path, &root);
+    EXPECT_EQ(code, 10);
+    expectBundleSchema(root, "guest_fault", 10);
+    // The flight tail must contain the delivered fault event, and the
+    // ledger must have a provenance chain for the code that ran.
+    const Value *events = root.find("flight")
+                              ? root.find("flight")->find("events")
+                              : nullptr;
+    ASSERT_NE(events, nullptr);
+    bool fault_event = false;
+    for (const Value &e : events->arr)
+        if (e.strOr("kind", "") == "guest_fault")
+            fault_event = true;
+    EXPECT_TRUE(fault_event) << "no guest_fault flight event in bundle";
+    const Value *prov = root.find("provenance");
+    ASSERT_NE(prov, nullptr);
+    EXPECT_TRUE(prov->isArray());
+    EXPECT_FALSE(prov->arr.empty())
+        << "faulting run must carry provenance for its blocks";
+}
+
+TEST(CliPostmortem, InternalErrorBundleRecordsInitFailure)
+{
+    using el::json::Value;
+    Value root;
+    std::string path = tmpBundlePath("internal");
+    int code = runCliWithBundle(
+        "--workload=jit_rewriter --fault=btos_alloc:1024", path, &root);
+    EXPECT_EQ(code, 20);
+    expectBundleSchema(root, "internal", 20);
+    // The runtime never initialized: the bundle must say why, and must
+    // name the injected site that killed it.
+    const Value *exit = root.find("exit");
+    ASSERT_NE(exit, nullptr);
+    EXPECT_NE(exit->strOr("init_error", ""), "");
+    const Value *fi = root.find("fault_injection");
+    ASSERT_NE(fi, nullptr);
+    bool named = false;
+    const Value *sites = fi->find("sites");
+    ASSERT_NE(sites, nullptr);
+    for (const Value &s : sites->arr)
+        if (s.strOr("site", "") == "btos_alloc" &&
+            s.numberOr("fires", 0) > 0)
+            named = true;
+    EXPECT_TRUE(named) << "bundle does not name the btos_alloc site";
+}
+
+TEST(CliPostmortem, DivergenceBundleCarriesTheSentinelLedger)
+{
+    using el::json::Value;
+    Value root;
+    std::string path = tmpBundlePath("divergence");
+    int code = runCliWithBundle(
+        "--workload=jit_rewriter --fault=miscompile:128 "
+        "--fault-seed=1 --selfcheck=1",
+        path, &root);
+    EXPECT_EQ(code, 30);
+    expectBundleSchema(root, "divergence", 30);
+    const Value *sent = root.find("sentinel");
+    ASSERT_NE(sent, nullptr);
+    EXPECT_GE(sent->numberOr("total_divergences", 0), 1.0);
+    const Value *divs = sent->find("divergences");
+    ASSERT_NE(divs, nullptr);
+    EXPECT_FALSE(divs->arr.empty());
+    // The convicted translation's provenance chain is in the bundle.
+    const Value *prov = root.find("provenance");
+    ASSERT_NE(prov, nullptr);
+    EXPECT_FALSE(prov->arr.empty());
 }
 
 } // namespace

@@ -3,6 +3,7 @@
 
 Usage:
     bench_diff.py [--tolerance=0.15] <baseline.json> <current.json>
+    bench_diff.py --list <report.json>
 
 Each bench binary writes a machine-readable report with a "scalars"
 object (headline aggregates) and an optional "tolerances" object
@@ -17,6 +18,10 @@ of a current run against a committed baseline:
   - new scalars only present in the current run are reported but pass
     (the baseline just predates them).
 
+--list prints the compared keys of a single report (value and the
+tolerance that would apply) without comparing anything — handy for
+seeing what a committed baseline actually pins down.
+
 Exit status: 0 when everything is within tolerance, 1 on any failure,
 2 on unreadable/malformed input. CI runs this warn-only (the simulator
 is deterministic, but headline numbers legitimately move when the
@@ -24,19 +29,37 @@ translator changes; the diff is a visibility tool, not a gate).
 """
 
 import json
+import numbers
 import sys
 
 
-def load(path):
+def load(path, role):
+    """Read one bench report; exit 2 with a role-labeled message on
+    any problem so CI logs say *which* input was bad."""
     try:
         with open(path, "rb") as f:
             doc = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+    except OSError as e:
+        print(f"bench_diff: {role} {path}: cannot read: {e.strerror}",
+              file=sys.stderr)
+        sys.exit(2)
+    except ValueError as e:
+        print(f"bench_diff: {role} {path}: malformed JSON: {e}",
+              file=sys.stderr)
         sys.exit(2)
     if not isinstance(doc, dict) or "scalars" not in doc:
-        print(f"bench_diff: {path}: not a bench report (no scalars)",
-              file=sys.stderr)
+        print(f"bench_diff: {role} {path}: not a bench report "
+              f"(no scalars object)", file=sys.stderr)
+        sys.exit(2)
+    scalars = doc["scalars"]
+    if not isinstance(scalars, dict) or not all(
+            isinstance(v, numbers.Real) for v in scalars.values()):
+        print(f"bench_diff: {role} {path}: scalars must map keys to "
+              f"numbers", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc.get("tolerances", {}), dict):
+        print(f"bench_diff: {role} {path}: tolerances must be an "
+              f"object", file=sys.stderr)
         sys.exit(2)
     return doc
 
@@ -47,23 +70,56 @@ def relative_change(base, cur):
     return abs(cur - base) / abs(base)
 
 
+def list_report(path, default_tol):
+    doc = load(path, "report")
+    scalars = doc["scalars"]
+    tolerances = doc.get("tolerances", {})
+    print(f"bench: {doc.get('bench')} ({len(scalars)} scalar(s))")
+    for key in sorted(scalars):
+        tol = tolerances.get(key, default_tol)
+        origin = "per-scalar" if key in tolerances else "default"
+        print(f"  {key}: {scalars[key]:.6g} "
+              f"(tol {tol * 100.0:.0f}%, {origin})")
+    return 0
+
+
 def main(argv):
     default_tol = 0.15
+    list_mode = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--tolerance="):
-            default_tol = float(arg[len("--tolerance="):])
+            try:
+                default_tol = float(arg[len("--tolerance="):])
+            except ValueError:
+                print(f"bench_diff: bad --tolerance value: "
+                      f"{arg[len('--tolerance='):]!r}", file=sys.stderr)
+                return 2
+        elif arg == "--list":
+            list_mode = True
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
+        elif arg.startswith("-"):
+            print(f"bench_diff: unknown flag {arg}", file=sys.stderr)
+            return 2
         else:
             paths.append(arg)
+
+    if list_mode:
+        if len(paths) != 1:
+            print("usage: bench_diff.py --list <report.json>",
+                  file=sys.stderr)
+            return 2
+        return list_report(paths[0], default_tol)
+
     if len(paths) != 2:
         print("usage: bench_diff.py [--tolerance=N] <baseline.json> "
               "<current.json>", file=sys.stderr)
         return 2
 
-    baseline, current = load(paths[0]), load(paths[1])
+    baseline = load(paths[0], "baseline")
+    current = load(paths[1], "current")
     if baseline.get("bench") != current.get("bench"):
         print(f"bench_diff: comparing different benches: "
               f"{baseline.get('bench')} vs {current.get('bench')}",
