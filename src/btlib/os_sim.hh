@@ -33,6 +33,24 @@ struct OsStats
     double idle_cycles = 0;
 };
 
+/**
+ * The guest-visible OS state a checkpoint must carry: everything a
+ * syscall result can depend on. Virtual time matters because the Time
+ * service returns it — a resumed run must see the clock where the
+ * interrupted run left it or its console output diverges. Cycle
+ * accounting (native/idle) is deliberately absent: it is reporting,
+ * not guest-visible, and a resumed run accounts only its own work.
+ */
+struct OsSnapshot
+{
+    std::string console;
+    uint64_t alloc_next = 0;
+    uint32_t brk = 0;
+    uint32_t handler_eip = 0;
+    double virtual_time_us = 0;
+    uint64_t syscalls = 0;
+};
+
 /** Shared machinery of both simulated personalities. */
 class SimOsBase
 {
@@ -60,6 +78,26 @@ class SimOsBase
 
     /** Trap vector this OS uses for system calls. */
     virtual uint8_t intVector() const = 0;
+
+    /** Capture the guest-visible OS state for a checkpoint. */
+    OsSnapshot
+    snapshot() const
+    {
+        return {console_, alloc_next_, brk_, handler_eip_,
+                virtual_time_us_, stats_.syscalls};
+    }
+
+    /** Restore a snapshot into this (freshly constructed) personality. */
+    void
+    restore(const OsSnapshot &s)
+    {
+        console_ = s.console;
+        alloc_next_ = s.alloc_next;
+        brk_ = s.brk;
+        handler_eip_ = s.handler_eip;
+        virtual_time_us_ = s.virtual_time_us;
+        stats_.syscalls = s.syscalls;
+    }
 
   protected:
     /** Decode (service, args) from the guest state per the OS ABI. */

@@ -45,6 +45,8 @@ class Registry;
 namespace el::core
 {
 
+class Checkpointer;
+
 /** Tunables and feature toggles of the translator. */
 struct Options
 {
@@ -145,6 +147,13 @@ struct Options
                                        //!< artifacts are recorded into it
                                        //!< and dispatch adopts matching
                                        //!< records before translating.
+    Checkpointer *checkpointer = nullptr; //!< In-run checkpoint driver
+                                       //!< (not owned). Null = off;
+                                       //!< attached, the runtime calls
+                                       //!< maybeCheckpoint at adoption
+                                       //!< boundaries (zero simulated
+                                       //!< cycles, never with a sentinel
+                                       //!< region open).
 
     // ----- flight recorder (ON by default; zero simulated cycles) ---
     bool flight_recorder = true;      //!< Always-on black box: the

@@ -30,6 +30,9 @@ postmortemJson(Runtime &rt, const PostmortemInfo &info)
     w.beginObject();
     w.kv("class", info.exit_class);
     w.kv("code", static_cast<int64_t>(info.exit_code));
+    w.kv("resumed", info.resumed);
+    if (info.resumed)
+        w.kv("checkpoint_seq", info.checkpoint_seq);
     if (!rt.initOk()) {
         // A failed vtable handshake carries a reason; a failed runtime
         // area allocation (rt_base_ == 0) does not, so name it here.

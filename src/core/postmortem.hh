@@ -32,6 +32,8 @@ struct PostmortemInfo
     std::string exit_class; //!< "ok", "guest_fault", "divergence",
                             //!< "internal", "requested", ...
     int exit_code = 0;      //!< Process exit code being reported.
+    bool resumed = false;   //!< Run was restored from a checkpoint.
+    uint64_t checkpoint_seq = 0; //!< Capture ordinal resumed from.
 };
 
 /**

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "core/checkpoint.hh"
 #include "ia32/decoder.hh"
 #include "ia32/flags.hh"
 #include "ia32/interp.hh"
@@ -1172,6 +1173,17 @@ Runtime::run(ia32::State &state)
             profiler_->maybeSample(machine_->totalCycles());
         if (options_.metrics)
             options_.metrics->maybeEmit(machine_->totalCycles());
+        if (options_.persist && options_.persist->journalDirty()) {
+            // CrashAdopt models dying between the in-memory adoption
+            // above and the durable journal append below — the window
+            // where a kill loses the just-adopted artifacts (they are
+            // re-translated on resume; correctness is unaffected).
+            if (faultInjected(FaultSite::CrashAdopt))
+                crashNow(FaultSite::CrashAdopt);
+            options_.persist->flushJournal();
+        }
+        if (options_.checkpointer)
+            options_.checkpointer->maybeCheckpoint(*this, next_eip);
 
         int64_t entry = dispatchEntry(next_eip, force_cold_once,
                                       fresh_cold_once);

@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -264,11 +265,18 @@ main(int argc, char **argv)
     }
 
     store.seal();
+    // save() publishes via temp+fsync+rename, so a killed el_aot never
+    // ships a partial sealed store: either the old file survives or
+    // the new one is complete.
     if (!store.save(cache_dir)) {
         std::fprintf(stderr, "el_aot: cannot write store in %s\n",
                      cache_dir.c_str());
         return exit_io;
     }
+    // Sealed stores never journal; drop any journal a crashed el_run
+    // left beside the store so loaders need not consider it.
+    std::error_code ec;
+    std::filesystem::remove(store.journalPathIn(cache_dir), ec);
     std::printf("el_aot: sealed %zu validated artifacts (%llu rejected) "
                 "-> %s (%lluB)\n",
                 store.recordCount(),

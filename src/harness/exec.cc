@@ -66,11 +66,16 @@ runInterpreter(const guest::Image &image, btlib::OsAbi abi,
 
 TranslatedRun
 runTranslated(const guest::Image &image, btlib::OsAbi abi,
-              core::Options options)
+              core::Options options, const core::CheckpointImage *resume)
 {
     TranslatedRun run;
     run.memory = std::make_unique<mem::Memory>();
     uint32_t esp = guest::load(image, *run.memory);
+    // From here on "dirty" means "not re-derivable from the image":
+    // the page set a checkpoint captures data for.
+    run.memory->clearDirty();
+    if (resume)
+        core::applyCheckpointMemory(*resume, *run.memory);
     run.os = makeOs(abi, *run.memory);
     run.runtime = std::make_unique<core::Runtime>(
         *run.memory, run.os->vtable(), options);
@@ -80,14 +85,29 @@ runTranslated(const guest::Image &image, btlib::OsAbi abi,
             "BTOS handshake failed: " + run.runtime->initError();
         return run;
     }
+    // Restore the OS AFTER runtime construction: the fresh runtime's
+    // area allocation must consume the same default alloc region the
+    // original run's startup did (so rtBase matches and the captured
+    // page set stays disjoint from it); only then may alloc_next jump
+    // to the captured value, so post-resume guest allocations land at
+    // exactly the addresses the uninterrupted run would have used.
+    if (resume)
+        run.os->restore(resume->os);
     run.os->setCycleSink([rt = run.runtime.get()](ipf::Bucket b,
                                                   double c) {
         rt->machine().chargeCycles(b, c);
     });
+    if (options.checkpointer)
+        options.checkpointer->setOsSource(
+            [osp = run.os.get()] { return osp->snapshot(); });
 
     ia32::State state;
-    state.eip = image.entry;
-    state.gpr[ia32::RegEsp] = esp;
+    if (resume) {
+        state = resume->state;
+    } else {
+        state.eip = image.entry;
+        state.gpr[ia32::RegEsp] = esp;
+    }
 
     core::RunResult rr = run.runtime->run(state);
     // Let tail-end pipeline sessions land so the flight recorder and

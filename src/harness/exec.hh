@@ -17,6 +17,7 @@
 #include <string>
 
 #include "btlib/os_sim.hh"
+#include "core/checkpoint.hh"
 #include "core/options.hh"
 #include "core/runtime.hh"
 #include "guest/image.hh"
@@ -57,9 +58,16 @@ struct TranslatedRun
     std::unique_ptr<core::Runtime> runtime;
 };
 
-/** Run the image under IA-32 EL on the IPF machine. */
+/**
+ * Run the image under IA-32 EL on the IPF machine. With @p resume, the
+ * run restores the checkpoint instead of starting at the image entry:
+ * guest memory, OS state, and architectural registers come from the
+ * capture, while the runtime itself (code cache, observers, runtime
+ * area) is constructed fresh through the normal init path.
+ */
 TranslatedRun runTranslated(const guest::Image &image, btlib::OsAbi abi,
-                            core::Options options = {});
+                            core::Options options = {},
+                            const core::CheckpointImage *resume = nullptr);
 
 /** Run under the direct IA-32 cost model (the Figure-8 baseline). */
 Outcome runDirect(const guest::Image &image, btlib::OsAbi abi,

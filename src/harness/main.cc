@@ -15,12 +15,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "btlib/abi.hh"
+#include "core/checkpoint.hh"
 #include "core/postmortem.hh"
 #include "core/report.hh"
 #include "guest/workloads.hh"
@@ -65,13 +68,27 @@ usage()
         "  --cache-capacity=<n>   bound the code cache (0 = unbounded)\n"
         "  --cache-dir=<dir>      persistent translation-artifact store:\n"
         "                         load matching hot artifacts before the\n"
-        "                         run (warm start) and save published\n"
-        "                         ones after it\n"
+        "                         run (warm start), journal new ones\n"
+        "                         during it, and compact at exit\n"
+        "  --checkpoint-dir=<dir> periodic in-run checkpoints of guest\n"
+        "                         state (registers, dirty memory pages,\n"
+        "                         OS state); one rolling file, replaced\n"
+        "                         atomically on each capture\n"
+        "  --checkpoint-period=<n> simulated cycles between captures\n"
+        "                         (default 1000000)\n"
+        "  --resume               restore the checkpoint from\n"
+        "                         --checkpoint-dir and continue the\n"
+        "                         interrupted run; a missing or corrupt\n"
+        "                         checkpoint warns and starts cold\n"
         "  --fault=<site>:<p>     fire <site> with p/1024 probability\n"
         "                         (sites: btos_alloc, cold_xlate_abort,\n"
         "                         hot_xlate_abort, cache_exhaust,\n"
         "                         guest_fault_storm, miscompile,\n"
-        "                         store_corrupt)\n"
+        "                         store_corrupt; crash points that\n"
+        "                         _exit(43) the process mid-protocol:\n"
+        "                         crash_journal_append,\n"
+        "                         crash_store_rename, crash_checkpoint,\n"
+        "                         crash_adopt)\n"
         "  --fault-seed=<n>       fault-injection PRNG seed\n"
         "  --selfcheck=<rate>     shadow-execute every <rate>-th\n"
         "                         dispatched region through the\n"
@@ -190,6 +207,9 @@ main(int argc, char **argv)
     std::string workload_name = "gzip";
     std::string trace_out, report_json, profile_out, cache_dir;
     std::string metrics_out, postmortem_out = "postmortem.json";
+    std::string checkpoint_dir;
+    uint64_t checkpoint_period = 1000000;
+    bool resume = false;
     uint64_t metrics_period = 50000;
     bool dump_on_exit = false;
     core::Options options;
@@ -228,6 +248,12 @@ main(int argc, char **argv)
                 static_cast<uint64_t>(std::atoll(v));
         } else if (const char *v = value("--cache-dir=")) {
             cache_dir = v;
+        } else if (const char *v = value("--checkpoint-dir=")) {
+            checkpoint_dir = v;
+        } else if (const char *v = value("--checkpoint-period=")) {
+            checkpoint_period = static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "--resume") {
+            resume = true;
         } else if (const char *v = value("--fault=")) {
             std::string spec = v;
             size_t colon = spec.rfind(':');
@@ -344,24 +370,79 @@ main(int argc, char **argv)
         options.metrics = &metrics;
     }
 
+    if (resume && checkpoint_dir.empty()) {
+        std::fprintf(stderr,
+                     "el_run: --resume requires --checkpoint-dir\n");
+        return exit_usage;
+    }
+
+    persist::Fingerprint fp;
+    if (!cache_dir.empty() || !checkpoint_dir.empty())
+        fp = persist::fingerprintOf(wl->image, options);
+
     persist::ArtifactStore store;
     bool warm = false;
     if (!cache_dir.empty()) {
-        store.resetFingerprint(
-            persist::fingerprintOf(wl->image, options));
+        store.resetFingerprint(fp);
+        // load() folds in any journal a crashed predecessor left; a
+        // journal on disk then means the .elstore is stale, so compact
+        // before truncating it for this run's own journaling.
+        bool had_journal = std::filesystem::exists(
+            store.journalPathIn(cache_dir));
         warm = store.load(cache_dir);
+        if (!store.sealed()) {
+            if (had_journal && !store.compact(cache_dir))
+                std::fprintf(stderr,
+                             "el_run: warning: cannot compact journal "
+                             "in %s\n", cache_dir.c_str());
+            if (!store.openJournal(cache_dir))
+                std::fprintf(stderr,
+                             "el_run: warning: cannot journal in %s; "
+                             "artifacts persist only at exit\n",
+                             cache_dir.c_str());
+        }
         options.persist = &store;
     }
 
-    harness::TranslatedRun run =
-        harness::runTranslated(wl->image, wl->params.abi, options);
+    std::unique_ptr<core::Checkpointer> checkpointer;
+    core::CheckpointImage resume_img;
+    bool resumed = false;
+    if (!checkpoint_dir.empty()) {
+        core::CheckpointConfig ck_cfg;
+        ck_cfg.dir = checkpoint_dir;
+        ck_cfg.period_cycles = checkpoint_period;
+        ck_cfg.fp = fp;
+        checkpointer = std::make_unique<core::Checkpointer>(ck_cfg);
+        options.checkpointer = checkpointer.get();
+        if (resume) {
+            std::string err;
+            if (core::Checkpointer::load(checkpoint_dir, fp,
+                                         &resume_img, &err)) {
+                resumed = true;
+            } else {
+                // A bad checkpoint must never make recovery worse
+                // than a cold start: warn and run from the beginning.
+                std::fprintf(stderr,
+                             "el_run: no usable checkpoint (%s); "
+                             "starting cold\n", err.c_str());
+            }
+        }
+    }
 
-    // Save before the report is written so persist.bytes_written and
-    // persist.records_saved appear in the report's stats object.
-    if (!cache_dir.empty() && !store.save(cache_dir)) {
-        std::fprintf(stderr, "el_run: cannot write store in %s\n",
-                     cache_dir.c_str());
-        return exit_io;
+    harness::TranslatedRun run =
+        harness::runTranslated(wl->image, wl->params.abi, options,
+                               resumed ? &resume_img : nullptr);
+
+    // Compact (durable save + journal unlink) before the report is
+    // written so persist.bytes_written and persist.records_saved
+    // appear in the report's stats object.
+    if (!cache_dir.empty()) {
+        store.closeJournal();
+        if (!store.compact(cache_dir)) {
+            std::fprintf(stderr, "el_run: cannot write store in %s\n",
+                         cache_dir.c_str());
+            return exit_io;
+        }
     }
 
     core::GuestResult guest = core::guestResultOf(
@@ -435,6 +516,22 @@ main(int argc, char **argv)
                     store.recordCount(),
                     store.sealed() ? " (sealed)" : "");
     }
+    if (checkpointer) {
+        std::printf("  checkpoint: %s captures=%llu bytes=%llu "
+                    "failed=%llu%s",
+                    resumed ? "resumed" : "fresh",
+                    static_cast<unsigned long long>(
+                        checkpointer->captures()),
+                    static_cast<unsigned long long>(
+                        checkpointer->stats.get("ckpt.bytes")),
+                    static_cast<unsigned long long>(
+                        checkpointer->stats.get("ckpt.failed")),
+                    resumed ? "" : "\n");
+        if (resumed)
+            std::printf(" from seq=%llu cycles=%.0f\n",
+                        static_cast<unsigned long long>(resume_img.seq),
+                        resume_img.cycles);
+    }
     if (options.sentinel) {
         const el::StatGroup &st = run.runtime->stats();
         std::printf("  selfcheck: rate=1/%u regions=%llu checked=%llu "
@@ -496,6 +593,8 @@ main(int argc, char **argv)
         pm.workload = wl->name;
         pm.exit_class = exit_class;
         pm.exit_code = code;
+        pm.resumed = resumed;
+        pm.checkpoint_seq = resumed ? resume_img.seq : 0;
         if (!core::writePostmortem(*run.runtime, pm, postmortem_out))
             std::fprintf(stderr, "el_run: cannot write %s\n",
                          postmortem_out.c_str());

@@ -116,6 +116,7 @@ Memory::access(uint64_t addr, void *buf, uint64_t len, bool write,
                     {a + k, cur[k], src[done + k]});
         }
         std::memcpy(p->data.data() + off, src + done, chunk);
+        p->dirty = true;
         done += chunk;
     }
     return {};
@@ -128,8 +129,10 @@ Memory::undoJournal(const WriteJournal &journal)
     for (auto it = journal.entries.rbegin(); it != journal.entries.rend();
          ++it) {
         Page *p = find(it->addr);
-        if (p)
+        if (p) {
             p->data[it->addr % page_size] = it->old_byte;
+            p->dirty = true;
+        }
     }
 }
 
@@ -139,8 +142,41 @@ Memory::redoJournal(const WriteJournal &journal)
     el_assert(journal_ != &journal, "redo through an armed journal");
     for (const WriteJournal::Entry &e : journal.entries) {
         Page *p = find(e.addr);
-        if (p)
+        if (p) {
             p->data[e.addr % page_size] = e.new_byte;
+            p->dirty = true;
+        }
+    }
+}
+
+void
+Memory::clearDirty()
+{
+    for (auto &[idx, p] : pages_)
+        p->dirty = false;
+}
+
+void
+Memory::forEachPage(
+    const std::function<void(uint64_t, Perm, bool, bool,
+                             const std::vector<uint8_t> &)> &fn) const
+{
+    for (const auto &[idx, p] : pages_)
+        fn(idx * page_size, p->perm, p->has_code, p->dirty, p->data);
+}
+
+void
+Memory::restorePage(uint64_t page_addr, Perm perm, bool has_code,
+                    const uint8_t *data)
+{
+    auto &slot = pages_[page_addr / page_size];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    slot->perm = perm;
+    slot->has_code = has_code;
+    if (data) {
+        std::memcpy(slot->data.data(), data, page_size);
+        slot->dirty = true;
     }
 }
 

@@ -18,6 +18,7 @@
 #define EL_MEM_MEMORY_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -158,12 +159,40 @@ class Memory
     /** Re-apply every journaled write, oldest first. */
     void redoJournal(const WriteJournal &journal);
 
+    // ----- checkpoint support ---------------------------------------
+
+    /**
+     * Clear every page's dirty bit. The checkpointer calls this right
+     * after guest::load on both cold and resume paths: "dirty" then
+     * means "no longer derivable by reloading the image", which is
+     * exactly the set of pages a checkpoint must carry data for.
+     */
+    void clearDirty();
+
+    /**
+     * Visit every mapped page in unspecified order:
+     * fn(page_addr, perm, has_code, dirty, data).
+     */
+    void forEachPage(
+        const std::function<void(uint64_t, Perm, bool, bool,
+                                 const std::vector<uint8_t> &)> &fn) const;
+
+    /**
+     * Re-create one page from a checkpoint: map it with @p perm, set
+     * the code mark, and when @p data is non-null copy a full page of
+     * bytes in (marking it dirty). Null @p data means the page was
+     * clean at capture — its image-loaded contents are already right.
+     */
+    void restorePage(uint64_t page_addr, Perm perm, bool has_code,
+                     const uint8_t *data);
+
   private:
     struct Page
     {
         std::vector<uint8_t> data;
         Perm perm = PermNone;
         bool has_code = false;
+        bool dirty = false; //!< Written since the last clearDirty().
 
         Page() : data(page_size, 0) {}
     };

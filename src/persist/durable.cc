@@ -1,0 +1,89 @@
+#include "persist/durable.hh"
+
+#include <cerrno>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace el::persist
+{
+
+namespace
+{
+
+/** Directory part of @p path ("." when there is none). */
+std::string
+dirOf(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+bool
+writeAll(int fd, const uint8_t *data, size_t n)
+{
+    size_t done = 0;
+    while (done < n) {
+        ssize_t w = ::write(fd, data + done, n - done);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+fsyncDir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+bool
+writeFileDurable(const std::string &path, const uint8_t *data, size_t n,
+                 FaultSite crash_site)
+{
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+
+    // An injected crash tears the payload in half first, so recovery
+    // code sees the worst case: a temp file that is both incomplete
+    // and already on disk.
+    bool crash = crash_site != FaultSite::NumSites &&
+                 faultInjected(crash_site);
+    size_t write_n = crash ? n / 2 : n;
+
+    bool ok = writeAll(fd, data, write_n) && ::fsync(fd) == 0;
+    ::close(fd);
+    if (crash)
+        crashNow(crash_site); // Temp durable (half of it), not renamed.
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // The rename is only durable once the directory entry is: fsync
+    // the parent. Failure here is reported but the file is published.
+    return fsyncDir(dirOf(path));
+}
+
+} // namespace el::persist

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Crash-durable file publication: write-to-temp + fsync + atomic
+ * rename + directory fsync.
+ *
+ * Every durable artifact (the .elstore, the checkpoint file) is
+ * published through this path, so a reader can never observe a
+ * half-written file: either the old content survives or the new
+ * content is complete. The containing directory is fsynced after the
+ * rename so the new directory entry itself is durable — without it a
+ * power cut can revert the rename even though the data blocks landed.
+ */
+
+#ifndef EL_PERSIST_DURABLE_HH
+#define EL_PERSIST_DURABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/faultinject.hh"
+
+namespace el::persist
+{
+
+/**
+ * Atomically publish @p n bytes at @p path via `<path>.tmp`. Returns
+ * false (with the temp file unlinked) on any I/O failure.
+ *
+ * @p crash_site names the CrashPoint consulted between the temp
+ * file's fsync and the rename — the window a kill would leave a
+ * complete-but-unpublished temp file. When the site fires, only half
+ * the payload is written first (modelling a torn in-flight write) and
+ * the process _exit()s. Pass FaultSite::NumSites for no crash window.
+ */
+bool writeFileDurable(const std::string &path, const uint8_t *data,
+                      size_t n,
+                      FaultSite crash_site = FaultSite::NumSites);
+
+/** fsync the directory @p dir (best effort; false on failure). */
+bool fsyncDir(const std::string &dir);
+
+} // namespace el::persist
+
+#endif // EL_PERSIST_DURABLE_HH

@@ -1,14 +1,20 @@
 #include "persist/store.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "core/options.hh"
 #include "guest/image.hh"
+#include "persist/durable.hh"
 #include "support/faultinject.hh"
 #include "support/strfmt.hh"
+#include "support/wire.hh"
 
 namespace el::persist
 {
@@ -37,31 +43,30 @@ fnvU64(uint64_t &h, uint64_t v)
     fnv(h, &v, sizeof(v));
 }
 
-uint32_t
-crc32(const uint8_t *data, size_t n)
-{
-    static uint32_t table[256];
-    static bool init = false;
-    if (!init) {
-        for (uint32_t i = 0; i < 256; ++i) {
-            uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            table[i] = c;
-        }
-        init = true;
-    }
-    uint32_t c = 0xffffffffu;
-    for (size_t i = 0; i < n; ++i)
-        c = table[(c ^ data[i]) & 0xff] ^ (c >> 8);
-    return c ^ 0xffffffffu;
-}
-
 // ----- byte-oriented encoding ---------------------------------------
+
+using Writer = wire::Writer;
+using Reader = wire::Reader;
+using wire::crc32;
 
 constexpr uint32_t file_magic = 0x53504c45u;   // "ELPS"
 constexpr uint32_t record_magic = 0x52544f48u; // "HOTR"
 constexpr uint32_t flag_sealed = 1u << 0;
+
+// The hot-artifact journal: an append-only sidecar of this run's
+// record()/dropAt() mutations, flushed at adoption boundaries and
+// folded into the .elstore by compact(). Header (28 bytes) mirrors
+// the store's fingerprint gate; each frame is
+//   u32 jrec_magic | u8 kind | u32 len | u32 crc | payload[len]
+// where kind 0 carries an encodeRecord() payload and kind 1 a u32
+// entry EIP to drop. There is no frame count: the journal's tail is
+// wherever the bytes stop, and a torn final frame is expected after a
+// crash (exactly one persist.rejected_truncated, scan stops there).
+constexpr uint32_t journal_magic = 0x4a504c45u; // "ELPJ"
+constexpr uint32_t jrec_magic = 0x4345524au;    // "JREC"
+constexpr uint8_t jkind_add = 0;
+constexpr uint8_t jkind_drop = 1;
+constexpr size_t jframe_header_bytes = 4 + 1 + 4 + 4;
 
 // Sanity caps: far above anything the emitter produces, low enough
 // that a corrupt length can never drive a multi-gigabyte allocation.
@@ -71,112 +76,6 @@ constexpr uint32_t max_stubs = 1u << 16;
 constexpr uint32_t max_covered = 1u << 16;
 constexpr uint32_t max_guards = 1u << 16;
 constexpr size_t max_record_bytes = 256u << 20;
-
-struct Writer
-{
-    std::vector<uint8_t> buf;
-
-    void
-    u8(uint8_t v)
-    {
-        buf.push_back(v);
-    }
-
-    void
-    u16(uint16_t v)
-    {
-        for (int i = 0; i < 2; ++i)
-            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    u32(uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    u64(uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
-    }
-
-    void i8(int8_t v) { u8(static_cast<uint8_t>(v)); }
-    void i16(int16_t v) { u16(static_cast<uint16_t>(v)); }
-    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
-    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
-    void b(bool v) { u8(v ? 1 : 0); }
-};
-
-/** Bounds-checked little-endian reader; sticky failure flag. */
-struct Reader
-{
-    const uint8_t *p = nullptr;
-    size_t n = 0;
-    size_t off = 0;
-    bool ok = true;
-
-    Reader(const uint8_t *data, size_t len) : p(data), n(len) {}
-
-    bool
-    need(size_t k)
-    {
-        if (!ok || n - off < k) {
-            ok = false;
-            return false;
-        }
-        return true;
-    }
-
-    uint8_t
-    u8()
-    {
-        if (!need(1))
-            return 0;
-        return p[off++];
-    }
-
-    uint16_t
-    u16()
-    {
-        if (!need(2))
-            return 0;
-        uint16_t v = 0;
-        for (int i = 0; i < 2; ++i)
-            v |= static_cast<uint16_t>(p[off++]) << (8 * i);
-        return v;
-    }
-
-    uint32_t
-    u32()
-    {
-        if (!need(4))
-            return 0;
-        uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<uint32_t>(p[off++]) << (8 * i);
-        return v;
-    }
-
-    uint64_t
-    u64()
-    {
-        if (!need(8))
-            return 0;
-        uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<uint64_t>(p[off++]) << (8 * i);
-        return v;
-    }
-
-    int8_t i8() { return static_cast<int8_t>(u8()); }
-    int16_t i16() { return static_cast<int16_t>(u16()); }
-    int32_t i32() { return static_cast<int32_t>(u32()); }
-    int64_t i64() { return static_cast<int64_t>(u64()); }
-    bool b() { return u8() != 0; }
-};
 
 void
 putLoc(Writer &w, const core::Loc &l)
@@ -522,6 +421,11 @@ ArtifactStore::record(HotRecord rec)
         stats.add("persist.record_after_seal");
         return;
     }
+    if (journal_fd_ >= 0) {
+        Writer body;
+        encodeRecord(body, rec);
+        journalFrame(jkind_add, body.buf);
+    }
     auto &vec = records_[rec.entry_eip];
     for (auto &existing : vec) {
         if (existing->spec_tos == rec.spec_tos &&
@@ -543,6 +447,14 @@ ArtifactStore::dropAt(uint32_t eip)
     auto it = records_.find(eip);
     if (it == records_.end() || it->second.empty())
         return;
+    if (journal_fd_ >= 0) {
+        // Convictions must survive a crash too: a quarantined trace
+        // journaled earlier this run would otherwise resurrect at the
+        // next start's replay.
+        Writer body;
+        body.u32(eip);
+        journalFrame(jkind_drop, body.buf);
+    }
     stats.add("persist.dropped", it->second.size());
     records_.erase(it);
 }
@@ -580,9 +492,18 @@ ArtifactStore::load(const std::string &dir)
 {
     std::error_code ec;
     std::string path = pathIn(dir);
-    if (!std::filesystem::exists(path, ec))
-        return false;
-    return loadFile(path);
+    bool any = false;
+    if (std::filesystem::exists(path, ec))
+        any = loadFile(path);
+    // Fold in any journal a crashed predecessor left behind. Replay
+    // is idempotent (replace-by-(eip, spec)), so a journal that
+    // duplicates the store is harmless. Sealed stores never journal;
+    // a stray journal beside one is stale and ignored.
+    journal_replayed_ = 0;
+    std::string jpath = journalPathIn(dir);
+    if (!sealed_ && std::filesystem::exists(jpath, ec))
+        any = replayJournal(jpath) > 0 || any;
+    return any;
 }
 
 bool
@@ -626,13 +547,22 @@ ArtifactStore::loadFile(const std::string &path)
 
     uint64_t loaded = 0;
     for (uint32_t i = 0; i < record_count; ++i) {
+        if (r.remaining() < 12) {
+            // The bytes ran out before the header's promised record
+            // count — a torn tail, whether the cut landed mid-frame
+            // or cleanly on a record boundary. Exactly one tally.
+            stats.add("persist.rejected_truncated");
+            break;
+        }
         uint32_t rmagic = r.u32();
         uint32_t rlen = r.u32();
         uint32_t rcrc = r.u32();
-        if (!r.ok || rmagic != record_magic) {
-            // The record stream is unframed beyond this point; there
-            // is no way to resync, so stop scanning. Everything loaded
-            // so far is individually CRC-verified and stays.
+        if (rmagic != record_magic) {
+            // A full frame header is present but its magic is wrong:
+            // corruption, not truncation. The record stream is
+            // unframed beyond this point; there is no way to resync,
+            // so stop scanning. Everything loaded so far is
+            // individually CRC-verified and stays.
             stats.add("persist.rejected_magic");
             break;
         }
@@ -714,19 +644,209 @@ ArtifactStore::saveFile(const std::string &path)
         stats.add("persist.injected_corruption");
     }
 
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
+    if (!writeFileDurable(path, w.buf.data(), w.buf.size(),
+                          FaultSite::CrashStoreRename))
         return false;
-    out.write(reinterpret_cast<const char *>(w.buf.data()),
-              static_cast<std::streamsize>(w.buf.size()));
-    out.close();
-    if (!out) {
-        std::remove(path.c_str());
-        return false;
-    }
     stats.add("persist.bytes_written", w.buf.size());
     stats.set("persist.records_saved", saved);
     return true;
+}
+
+// ----- the hot-artifact journal -------------------------------------
+
+std::string
+ArtifactStore::journalPathIn(const std::string &dir) const
+{
+    return dir + "/" + fp_.hex() + ".eljournal";
+}
+
+bool
+ArtifactStore::openJournal(const std::string &dir)
+{
+    if (sealed_)
+        return false;
+    closeJournal();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string path = journalPathIn(dir);
+    // Always truncate: the journal only ever holds the current run's
+    // frames. A predecessor's journal was folded into the .elstore by
+    // compact() before this call; appending to it instead would strand
+    // everything after its (possibly torn) tail, since replay stops at
+    // the first bad frame.
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    journal_fd_ = fd;
+    journal_path_ = path;
+    Writer h;
+    h.u32(journal_magic);
+    h.u32(format_version);
+    h.u64(fp_.image_hash);
+    h.u64(fp_.opts_hash);
+    h.u32(fp_.entry);
+    journal_pending_ = std::move(h.buf);
+    return flushJournal();
+}
+
+void
+ArtifactStore::journalFrame(uint8_t kind,
+                            const std::vector<uint8_t> &payload)
+{
+    Writer w;
+    w.u32(jrec_magic);
+    w.u8(kind);
+    w.u32(static_cast<uint32_t>(payload.size()));
+    w.u32(crc32(payload.data(), payload.size()));
+    journal_pending_.insert(journal_pending_.end(), w.buf.begin(),
+                            w.buf.end());
+    journal_pending_.insert(journal_pending_.end(), payload.begin(),
+                            payload.end());
+    stats.add("persist.journal_frames");
+}
+
+bool
+ArtifactStore::flushJournal()
+{
+    if (journal_fd_ < 0 || journal_pending_.empty())
+        return true;
+    size_t n = journal_pending_.size();
+
+    // Injected crash: half the pending bytes land (and are durable —
+    // the OS could have written them at any time), then the process
+    // dies, leaving a genuinely torn tail for the next start's replay.
+    bool crash = faultInjected(FaultSite::CrashJournalAppend);
+    size_t write_n = crash ? n / 2 : n;
+
+    size_t done = 0;
+    bool ok = true;
+    while (done < write_n) {
+        ssize_t w = ::write(journal_fd_, journal_pending_.data() + done,
+                            write_n - done);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            ok = false;
+            break;
+        }
+        done += static_cast<size_t>(w);
+    }
+    if (ok)
+        ok = ::fsync(journal_fd_) == 0;
+    if (crash)
+        crashNow(FaultSite::CrashJournalAppend);
+    if (!ok)
+        return false;
+    journal_pending_.clear();
+    stats.add("persist.journal_bytes", n);
+    stats.add("persist.journal_flushes");
+    return true;
+}
+
+void
+ArtifactStore::closeJournal()
+{
+    if (journal_fd_ < 0)
+        return;
+    flushJournal();
+    ::close(journal_fd_);
+    journal_fd_ = -1;
+    journal_path_.clear();
+    journal_pending_.clear();
+}
+
+bool
+ArtifactStore::compact(const std::string &dir)
+{
+    closeJournal();
+    if (!save(dir))
+        return false;
+    // The store now durably holds everything the journal did; the
+    // journal is redundant. Crashing before this unlink is safe —
+    // replay over the fresh store is a no-op.
+    std::error_code ec;
+    std::filesystem::remove(journalPathIn(dir), ec);
+    stats.add("persist.compactions");
+    return true;
+}
+
+size_t
+ArtifactStore::replayJournal(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return 0;
+    std::vector<uint8_t> buf{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+    in.close();
+    stats.add("persist.bytes_read", buf.size());
+
+    Reader r(buf.data(), buf.size());
+    uint32_t magic = r.u32();
+    uint32_t version = r.u32();
+    uint64_t image_hash = r.u64();
+    uint64_t opts_hash = r.u64();
+    uint32_t entry = r.u32();
+    if (!r.ok || magic != journal_magic || version != format_version) {
+        // Includes the tiny-crash case where even the 28-byte header
+        // was torn: the whole journal is ignored, the run starts from
+        // whatever the .elstore held.
+        stats.add("persist.journal_rejected_header");
+        return 0;
+    }
+    if (image_hash != fp_.image_hash || opts_hash != fp_.opts_hash ||
+        entry != fp_.entry) {
+        stats.add("persist.journal_rejected_fingerprint");
+        return 0;
+    }
+
+    size_t applied = 0;
+    while (r.remaining() > 0) {
+        if (r.remaining() < jframe_header_bytes) {
+            // Torn mid-frame-header. (A cut exactly on a frame
+            // boundary is indistinguishable from clean EOF — the
+            // journal carries no frame count — and loses nothing.)
+            stats.add("persist.rejected_truncated");
+            break;
+        }
+        uint32_t fmagic = r.u32();
+        uint8_t kind = r.u8();
+        uint32_t flen = r.u32();
+        uint32_t fcrc = r.u32();
+        if (fmagic != jrec_magic) {
+            stats.add("persist.rejected_magic");
+            break;
+        }
+        if (flen > max_record_bytes || !r.need(flen)) {
+            stats.add("persist.rejected_truncated");
+            r.ok = true;
+            break;
+        }
+        const uint8_t *payload = buf.data() + r.off;
+        r.off += flen;
+        if (crc32(payload, flen) != fcrc) {
+            stats.add("persist.rejected_crc");
+            continue; // Framing intact; later frames may be fine.
+        }
+        if (kind == jkind_add) {
+            HotRecord rec;
+            if (!decodeRecord(payload, flen, rec)) {
+                stats.add("persist.rejected_invalid");
+                continue;
+            }
+            insertLoaded(std::move(rec));
+            ++applied;
+        } else if (kind == jkind_drop && flen == 4) {
+            Reader pr(payload, flen);
+            records_.erase(pr.u32());
+            ++applied;
+        } else {
+            stats.add("persist.rejected_invalid");
+        }
+    }
+    journal_replayed_ = applied;
+    stats.set("persist.journal_replayed", applied);
+    return applied;
 }
 
 } // namespace el::persist

@@ -130,10 +130,13 @@ class ArtifactStore
     ArtifactStore(const ArtifactStore &) = delete;
     ArtifactStore &operator=(const ArtifactStore &) = delete;
 
+    ~ArtifactStore() { closeJournal(); }
+
     /** Set the identity (drops all records and counters' context). */
     void
     resetFingerprint(const Fingerprint &fp)
     {
+        closeJournal();
         fp_ = fp;
         records_.clear();
         missed_.clear();
@@ -208,6 +211,49 @@ class ArtifactStore
     bool loadFile(const std::string &path);
     bool saveFile(const std::string &path);
 
+    // ----- crash consistency: the append-only hot-artifact journal --
+
+    /** The journal file path for this fingerprint inside @p dir. */
+    std::string journalPathIn(const std::string &dir) const;
+
+    /**
+     * Start journaling this run's record()/dropAt() mutations into
+     * `<fp>.eljournal` in @p dir (truncating any previous journal —
+     * the caller compacts first). Mutations are framed into a pending
+     * buffer; flushJournal() makes them durable. The runtime flushes
+     * at adoption boundaries, so a kill -9 loses at most the
+     * artifacts since the last boundary instead of the whole run.
+     * No-op (false) on a sealed store: sealed stores are immutable
+     * validated content and never journal.
+     */
+    bool openJournal(const std::string &dir);
+
+    /** Append + fsync every pending frame; true when durable (or when
+     *  nothing was pending / no journal is open). */
+    bool flushJournal();
+
+    /** Flush pending frames and close the journal fd. */
+    void closeJournal();
+
+    bool journalOpen() const { return journal_fd_ >= 0; }
+
+    /** Frames recorded since the last flush (cheap dirtiness probe
+     *  for the runtime's adoption-boundary hook). */
+    bool journalDirty() const { return !journal_pending_.empty(); }
+
+    /** Records applied by the last load()'s journal replay. */
+    uint64_t journalReplayed() const { return journal_replayed_; }
+
+    /**
+     * Fold the journal into the .elstore: durable save() of the full
+     * record set, then unlink the journal. Safe against a crash at
+     * any point — replay is idempotent (replace-by-(eip, spec)), so
+     * dying between the save and the unlink only means the next start
+     * replays records the store already holds. Closes an open journal
+     * first; reopen with openJournal() to keep recording.
+     */
+    bool compact(const std::string &dir);
+
     /**
      * persist.* counters: hits, misses, loaded_blocks, bytes_read,
      * bytes_written, records saved/loaded, and the rejection tallies
@@ -218,10 +264,24 @@ class ArtifactStore
   private:
     void insertLoaded(HotRecord &&rec);
 
+    /** Replay one journal file over the in-memory record set; returns
+     *  the number of frames applied (adds + drops). Fail-soft: a torn
+     *  tail frame is counted (persist.rejected_truncated) and every
+     *  intact frame before it still applies. */
+    size_t replayJournal(const std::string &path);
+
+    /** Frame one mutation into the pending journal buffer. */
+    void journalFrame(uint8_t kind, const std::vector<uint8_t> &payload);
+
     Fingerprint fp_;
     bool sealed_ = false;
     std::map<uint32_t, std::vector<std::unique_ptr<HotRecord>>> records_;
     std::set<uint32_t> missed_; //!< Distinct-EIP miss dedup.
+
+    int journal_fd_ = -1;                  //!< POSIX fd; -1 = closed.
+    std::string journal_path_;             //!< Path of the open journal.
+    std::vector<uint8_t> journal_pending_; //!< Frames since last flush.
+    uint64_t journal_replayed_ = 0;        //!< Applied on last load().
 };
 
 } // namespace el::persist

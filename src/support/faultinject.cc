@@ -1,5 +1,8 @@
 #include "support/faultinject.hh"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace el
 {
 
@@ -28,9 +31,28 @@ faultSiteName(FaultSite site)
         return "miscompile";
       case FaultSite::StoreCorrupt:
         return "store_corrupt";
+      case FaultSite::CrashJournalAppend:
+        return "crash_journal_append";
+      case FaultSite::CrashStoreRename:
+        return "crash_store_rename";
+      case FaultSite::CrashCheckpoint:
+        return "crash_checkpoint";
+      case FaultSite::CrashAdopt:
+        return "crash_adopt";
       default:
         return "?";
     }
+}
+
+void
+crashNow(FaultSite site)
+{
+    // One diagnostic on stderr (unbuffered enough to usually survive),
+    // then die without unwinding: no destructors, no atexit, no stdio
+    // flush — exactly the state a kill -9 leaves behind.
+    std::fprintf(stderr, "el: crash point '%s' fired: _exit(%d)\n",
+                 faultSiteName(site), crash_exit_code);
+    std::_Exit(crash_exit_code);
 }
 
 bool

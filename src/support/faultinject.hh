@@ -43,8 +43,43 @@ enum class FaultSite : uint8_t
                      //!< corrupted (the divergence sentinel's prey).
     StoreCorrupt,    //!< The artifact store writes a file with one
                      //!< flipped byte (the hardened loader's prey).
+    // ----- CrashPoint family: the site _exit()s the whole process ----
+    // These simulate kill -9 at the crash-consistency protocol's
+    // distinct windows. Each fires at most once (the process dies), and
+    // the process-kill chaos harness (tests/crash_matrix_test.cc)
+    // relaunches with --resume and asserts bit-exact recovery.
+    CrashJournalAppend, //!< Die mid-journal-append: a torn half-frame
+                        //!< is left at the journal tail.
+    CrashStoreRename,   //!< Die after the temp store file is durable
+                        //!< but before the atomic rename publishes it.
+    CrashCheckpoint,    //!< Die mid-checkpoint-write: a torn temp file
+                        //!< is left beside the intact old checkpoint.
+    CrashAdopt,         //!< Die right after hot artifacts were adopted
+                        //!< in memory, before their journal flush.
     NumSites,
 };
+
+/** Exit code crashNow() dies with, distinct from every documented
+ *  el_run exit class so the chaos harness can tell an injected kill
+ *  from a real failure. */
+constexpr int crash_exit_code = 43;
+
+/** First member of the CrashPoint family (for range checks). */
+constexpr FaultSite first_crash_site = FaultSite::CrashJournalAppend;
+
+/** True when @p site is one of the process-kill crash points. */
+inline bool
+isCrashSite(FaultSite site)
+{
+    return site >= first_crash_site && site < FaultSite::NumSites;
+}
+
+/**
+ * Terminate the process immediately (no atexit handlers, no stream
+ * flushing beyond the diagnostic line below) — the closest portable
+ * approximation of kill -9 that injection can trigger from inside.
+ */
+[[noreturn]] void crashNow(FaultSite site);
 
 constexpr std::size_t num_fault_sites =
     static_cast<std::size_t>(FaultSite::NumSites);

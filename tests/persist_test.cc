@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -508,6 +509,175 @@ TEST(PersistValidation, MiscompiledArtifactsNeverSealed)
     EXPECT_TRUE(
         sameGuestOutcome(oracle, warm.outcome, &why))
         << why;
+}
+
+// ----- crash consistency: the hot-artifact journal ----------------------
+
+/** Cold run with an open journal attached; the runtime flushes at
+ *  adoption boundaries and closeJournal() flushes the tail. */
+harness::TranslatedRun
+journaledRunInto(persist::ArtifactStore &store, const TempDir &dir,
+                 const Workload &w)
+{
+    store.resetFingerprint(persist::fingerprintOf(w.image, baseOpts()));
+    EXPECT_TRUE(store.openJournal(dir.str()));
+    core::Options opts = baseOpts();
+    opts.persist = &store;
+    harness::TranslatedRun run =
+        harness::runTranslated(w.image, w.params.abi, opts);
+    store.closeJournal();
+    return run;
+}
+
+TEST(PersistJournal, ReplayRoundTrip)
+{
+    TempDir dir("journal_rt");
+    Workload w = victim();
+    persist::ArtifactStore writer;
+    journaledRunInto(writer, dir, w);
+    ASSERT_GT(writer.recordCount(), 0u);
+    // Nothing but the journal is on disk: the run never called save().
+    ASSERT_FALSE(fs::exists(writer.pathIn(dir.str())));
+    ASSERT_TRUE(fs::exists(writer.journalPathIn(dir.str())));
+
+    // A fresh store recovers every journaled record by replay alone.
+    persist::ArtifactStore replayed(writer.fingerprint());
+    ASSERT_TRUE(replayed.load(dir.str()));
+    EXPECT_EQ(replayed.recordCount(), writer.recordCount());
+    EXPECT_EQ(replayed.journalReplayed(), writer.recordCount());
+    EXPECT_EQ(replayed.stats.get("persist.rejected_truncated"), 0u);
+    EXPECT_EQ(replayed.stats.get("persist.rejected_crc"), 0u);
+
+    // Compaction folds the journal into the .elstore and removes it;
+    // a third store then loads the same record set from the file.
+    ASSERT_TRUE(replayed.compact(dir.str()));
+    EXPECT_TRUE(fs::exists(replayed.pathIn(dir.str())));
+    EXPECT_FALSE(fs::exists(replayed.journalPathIn(dir.str())));
+    persist::ArtifactStore compacted(writer.fingerprint());
+    ASSERT_TRUE(compacted.load(dir.str()));
+    EXPECT_EQ(compacted.recordCount(), writer.recordCount());
+
+    // And the recovered artifacts behave: warm run matches cold.
+    core::Options wopts = baseOpts();
+    wopts.persist = &compacted;
+    harness::TranslatedRun warm =
+        harness::runTranslated(w.image, w.params.abi, wopts);
+    harness::TranslatedRun cold =
+        harness::runTranslated(w.image, w.params.abi, baseOpts());
+    std::string why;
+    EXPECT_TRUE(sameGuestOutcome(cold.outcome, warm.outcome, &why))
+        << why;
+    EXPECT_GT(compacted.stats.get("persist.hits"), 0u);
+}
+
+TEST(PersistJournal, DropFramesReplayAsDeletions)
+{
+    TempDir dir("journal_drop");
+    Workload w = victim();
+    persist::ArtifactStore writer;
+    harness::TranslatedRun run = journaledRunInto(writer, dir, w);
+    ASSERT_GT(writer.recordCount(), 1u);
+
+    // Quarantine-style drop of one hot entry, journaled like any other
+    // mutation (reopen: closeJournal already folded the run's frames —
+    // openJournal truncates, so compact first to keep them).
+    ASSERT_TRUE(writer.compact(dir.str()));
+    ASSERT_TRUE(writer.openJournal(dir.str()));
+    uint32_t victim_eip = 0;
+    for (const auto &bi : run.runtime->translator().allBlocks())
+        if (bi && bi->kind == core::BlockKind::Hot &&
+            writer.hasRecordsAt(bi->entry_eip)) {
+            victim_eip = bi->entry_eip;
+            break;
+        }
+    ASSERT_NE(victim_eip, 0u);
+    size_t before = writer.recordCount();
+    writer.dropAt(victim_eip);
+    writer.closeJournal();
+
+    // Replay = store file + journal: the drop wins over the compacted
+    // record, exactly as it won in memory.
+    persist::ArtifactStore replayed(writer.fingerprint());
+    ASSERT_TRUE(replayed.load(dir.str()));
+    EXPECT_EQ(replayed.recordCount(), writer.recordCount());
+    EXPECT_LT(replayed.recordCount(), before);
+    EXPECT_FALSE(replayed.hasRecordsAt(victim_eip));
+}
+
+TEST(PersistJournal, TruncationSweepRecoversEveryIntactPrefix)
+{
+    TempDir dir("journal_trunc");
+    Workload w = victim();
+    persist::ArtifactStore writer;
+    journaledRunInto(writer, dir, w);
+    ASSERT_GT(writer.recordCount(), 0u);
+
+    std::string jpath = writer.journalPathIn(dir.str());
+    std::ifstream f(jpath, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 28u); // journal header
+
+    // Walk the frame layout: boundaries[i] = offset just after frame i.
+    // u32 magic | u8 kind | u32 len | u32 crc | payload[len]
+    std::vector<size_t> boundaries{28};
+    std::vector<size_t> adds_before{0}; // add-frames before boundary i
+    size_t off = 28, adds = 0;
+    while (off < bytes.size()) {
+        ASSERT_GE(bytes.size() - off, 13u) << "writer left a torn tail";
+        uint8_t kind = static_cast<uint8_t>(bytes[off + 4]);
+        uint32_t len;
+        std::memcpy(&len, bytes.data() + off + 5, 4);
+        ASSERT_EQ(kind, 0u) << "unexpected drop frame in a pure run";
+        off += 13 + len;
+        ASSERT_LE(off, bytes.size());
+        ++adds;
+        boundaries.push_back(off);
+        adds_before.push_back(adds);
+    }
+    ASSERT_EQ(adds, writer.recordCount());
+
+    auto truncateTo = [&](size_t keep) {
+        std::ofstream out(jpath, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    };
+
+    // Every frame boundary, and one byte either side of it: the intact
+    // prefix always recovers, a cut tail costs exactly one
+    // rejected_truncated, and a clean cut costs none.
+    for (size_t i = 0; i < boundaries.size(); ++i) {
+        for (int delta : {-1, 0, 1}) {
+            size_t cut = boundaries[i] + static_cast<size_t>(delta);
+            if (cut > bytes.size())
+                continue;
+            truncateTo(cut);
+            persist::ArtifactStore store(writer.fingerprint());
+            (void)store.load(dir.str());
+            SCOPED_TRACE("cut=" + std::to_string(cut));
+            if (cut < 28) {
+                // Inside the journal header: the whole file is
+                // rejected, nothing loads.
+                EXPECT_EQ(store.recordCount(), 0u);
+                EXPECT_GE(store.stats.get(
+                              "persist.journal_rejected_header"),
+                          1u);
+                continue;
+            }
+            // Complete frames fully below the cut all recover...
+            size_t complete = 0;
+            for (size_t k = 0; k < boundaries.size(); ++k)
+                if (boundaries[k] <= cut)
+                    complete = adds_before[k];
+            EXPECT_EQ(store.recordCount(), complete);
+            // ...and the tail costs exactly one truncation rejection
+            // when (and only when) the cut is not a frame boundary.
+            bool exact = delta == 0;
+            EXPECT_EQ(store.stats.get("persist.rejected_truncated"),
+                      exact ? 0u : 1u);
+            EXPECT_EQ(store.stats.get("persist.rejected_crc"), 0u);
+            EXPECT_EQ(store.stats.get("persist.rejected_invalid"), 0u);
+        }
+    }
 }
 
 // ----- seal semantics ---------------------------------------------------

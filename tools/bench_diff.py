@@ -3,6 +3,7 @@
 
 Usage:
     bench_diff.py [--tolerance=0.15] <baseline.json> <current.json>
+    bench_diff.py --sweep [--tolerance=0.15] <baseline_dir> <current_dir>
     bench_diff.py --list <report.json>
 
 Each bench binary writes a machine-readable report with a "scalars"
@@ -18,6 +19,15 @@ of a current run against a committed baseline:
   - new scalars only present in the current run are reported but pass
     (the baseline just predates them).
 
+--sweep compares two directories: every BENCH_<name>.json present in
+both is diffed as above, and a report present on only one side is
+called out by name — a baseline whose bench no longer emits a report
+is a "WARN ... baseline present but no current report" (the committed
+baseline went stale, or the bench silently stopped running), and a
+current report with no committed baseline is a "WARN ... new bench
+without a committed baseline" (commit one). One-sided reports warn;
+only out-of-tolerance pairs fail the sweep.
+
 --list prints the compared keys of a single report (value and the
 tolerance that would apply) without comparing anything — handy for
 seeing what a committed baseline actually pins down.
@@ -30,6 +40,7 @@ translator changes; the diff is a visibility tool, not a gate).
 
 import json
 import numbers
+import os
 import sys
 
 
@@ -83,49 +94,9 @@ def list_report(path, default_tol):
     return 0
 
 
-def main(argv):
-    default_tol = 0.15
-    list_mode = False
-    paths = []
-    for arg in argv[1:]:
-        if arg.startswith("--tolerance="):
-            try:
-                default_tol = float(arg[len("--tolerance="):])
-            except ValueError:
-                print(f"bench_diff: bad --tolerance value: "
-                      f"{arg[len('--tolerance='):]!r}", file=sys.stderr)
-                return 2
-        elif arg == "--list":
-            list_mode = True
-        elif arg in ("-h", "--help"):
-            print(__doc__)
-            return 0
-        elif arg.startswith("-"):
-            print(f"bench_diff: unknown flag {arg}", file=sys.stderr)
-            return 2
-        else:
-            paths.append(arg)
-
-    if list_mode:
-        if len(paths) != 1:
-            print("usage: bench_diff.py --list <report.json>",
-                  file=sys.stderr)
-            return 2
-        return list_report(paths[0], default_tol)
-
-    if len(paths) != 2:
-        print("usage: bench_diff.py [--tolerance=N] <baseline.json> "
-              "<current.json>", file=sys.stderr)
-        return 2
-
-    baseline = load(paths[0], "baseline")
-    current = load(paths[1], "current")
-    if baseline.get("bench") != current.get("bench"):
-        print(f"bench_diff: comparing different benches: "
-              f"{baseline.get('bench')} vs {current.get('bench')}",
-              file=sys.stderr)
-        return 2
-
+def diff_reports(baseline, current, default_tol):
+    """Compare two loaded reports; print per-scalar verdicts and
+    return the number of out-of-tolerance scalars."""
     base_scalars = baseline["scalars"]
     cur_scalars = current["scalars"]
     tolerances = baseline.get("tolerances", {})
@@ -149,7 +120,106 @@ def main(argv):
               f"({change * 100.0:+.1f}% vs tol {tol * 100.0:.0f}%)")
     for key in sorted(set(cur_scalars) - set(base_scalars)):
         print(f"  new  {key}: {cur_scalars[key]:.6g} (not in baseline)")
+    return failures
 
+
+def sweep(base_dir, cur_dir, default_tol):
+    """Pair BENCH_*.json reports across two directories by filename.
+    One-sided reports are named warnings, never silent skips; only
+    out-of-tolerance pairs fail."""
+    def reports(d):
+        try:
+            names = os.listdir(d)
+        except OSError as e:
+            print(f"bench_diff: {d}: cannot list: {e.strerror}",
+                  file=sys.stderr)
+            sys.exit(2)
+        return {n for n in names
+                if n.startswith("BENCH_") and n.endswith(".json")}
+
+    base_names = reports(base_dir)
+    cur_names = reports(cur_dir)
+    failures = 0
+    warnings = 0
+    for name in sorted(base_names - cur_names):
+        bench = name[len("BENCH_"):-len(".json")]
+        print(f"WARN {bench}: baseline present but no current report "
+              f"(did the bench stop running or emitting {name}?)")
+        warnings += 1
+    for name in sorted(cur_names - base_names):
+        bench = name[len("BENCH_"):-len(".json")]
+        print(f"WARN {bench}: new bench without a committed baseline "
+              f"(commit {os.path.join(base_dir, name)})")
+        warnings += 1
+    for name in sorted(base_names & cur_names):
+        baseline = load(os.path.join(base_dir, name), "baseline")
+        current = load(os.path.join(cur_dir, name), "current")
+        if baseline.get("bench") != current.get("bench"):
+            print(f"bench_diff: {name}: comparing different benches: "
+                  f"{baseline.get('bench')} vs {current.get('bench')}",
+                  file=sys.stderr)
+            sys.exit(2)
+        failures += diff_reports(baseline, current, default_tol)
+    print(f"bench_diff: sweep over {len(base_names & cur_names)} "
+          f"paired report(s), {warnings} warning(s), "
+          f"{failures} scalar(s) beyond tolerance")
+    return 1 if failures else 0
+
+
+def main(argv):
+    default_tol = 0.15
+    list_mode = False
+    sweep_mode = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            try:
+                default_tol = float(arg[len("--tolerance="):])
+            except ValueError:
+                print(f"bench_diff: bad --tolerance value: "
+                      f"{arg[len('--tolerance='):]!r}", file=sys.stderr)
+                return 2
+        elif arg == "--list":
+            list_mode = True
+        elif arg == "--sweep":
+            sweep_mode = True
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        elif arg.startswith("-"):
+            print(f"bench_diff: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+
+    if list_mode:
+        if len(paths) != 1:
+            print("usage: bench_diff.py --list <report.json>",
+                  file=sys.stderr)
+            return 2
+        return list_report(paths[0], default_tol)
+
+    if sweep_mode:
+        if len(paths) != 2:
+            print("usage: bench_diff.py --sweep [--tolerance=N] "
+                  "<baseline_dir> <current_dir>", file=sys.stderr)
+            return 2
+        return sweep(paths[0], paths[1], default_tol)
+
+    if len(paths) != 2:
+        print("usage: bench_diff.py [--tolerance=N] <baseline.json> "
+              "<current.json>", file=sys.stderr)
+        return 2
+
+    baseline = load(paths[0], "baseline")
+    current = load(paths[1], "current")
+    if baseline.get("bench") != current.get("bench"):
+        print(f"bench_diff: comparing different benches: "
+              f"{baseline.get('bench')} vs {current.get('bench')}",
+              file=sys.stderr)
+        return 2
+
+    failures = diff_reports(baseline, current, default_tol)
     if failures:
         print(f"bench_diff: {failures} scalar(s) beyond tolerance")
         return 1
