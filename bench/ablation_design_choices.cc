@@ -26,8 +26,10 @@ cyclesWith(const guest::Workload &w, core::Options o)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("Design-choice ablations", "sections 2, 4, 5");
 
     guest::WorkloadParams ip;

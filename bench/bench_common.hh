@@ -22,12 +22,44 @@
 #include "guest/workloads.hh"
 #include "harness/exec.hh"
 #include "harness/native.hh"
+#include "support/buildinfo.hh"
 #include "support/json.hh"
 #include "support/stats.hh"
 #include "support/strfmt.hh"
 
 namespace el::bench
 {
+
+/**
+ * The bench binaries take no options — every knob lives in the source
+ * so committed baselines stay comparable across runs. Mirror el_run's
+ * argv hygiene anyway: an unknown flag or stray operand fails loudly
+ * instead of silently running the defaults (the failure mode where a
+ * typoed sweep quietly re-measures the baseline). Returns a
+ * non-negative exit code when main() should return it, -1 to proceed.
+ */
+inline int
+handleArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help") {
+            std::printf("usage: %s\n"
+                        "Takes no options; prints the reproduced "
+                        "table and writes BENCH_<name>.json beside "
+                        "it. Compare two runs with "
+                        "tools/bench_diff.py.\n", argv[0]);
+            return 0;
+        }
+        std::fprintf(stderr,
+                     "%s: unexpected argument '%s' (benches take no "
+                     "options; sweep knobs live in the source and "
+                     "runs are compared with tools/bench_diff.py)\n",
+                     argv[0], arg.c_str());
+        return 1;
+    }
+    return -1;
+}
 
 /** Per-bucket cycle fractions of a translated run. */
 struct Distribution
@@ -127,6 +159,8 @@ class Report
         json::Writer w;
         w.beginObject();
         w.kv("bench", name_);
+        buildinfo::writeStamp(
+            w, buildinfo::ProducerStamp::make("el_bench"));
         w.key("scalars");
         w.beginObject();
         for (const auto &[k, v] : scalars_)

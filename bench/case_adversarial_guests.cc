@@ -76,8 +76,10 @@ runWith(const guest::Workload &w, uint32_t selfcheck_rate,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("Adversarial guest personalities + divergence sentinel",
                   "section 5's transparency requirements under hostile "
                   "guests (no paper figure)");

@@ -94,8 +94,10 @@ sweep(const guest::Workload &w, bench::Report &rep)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("Asynchronous hot-translation pipeline",
                   "section 2's two-phase split, decoupled "
                   "(no paper figure)");

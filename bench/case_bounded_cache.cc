@@ -50,8 +50,10 @@ runWith(const guest::Workload &w, core::Options o, bench::Report &rep,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("Bounded code cache: flush-and-retranslate cost",
                   "the robustness spine (no paper figure)");
 

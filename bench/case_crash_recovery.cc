@@ -65,8 +65,10 @@ sameGuest(const core::GuestResult &a, const core::GuestResult &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("Crash recovery: resume vs cold restart",
                   "the crash-consistency subsystem (no paper figure)");
 

@@ -125,8 +125,10 @@ sameGuest(const core::GuestResult &a, const core::GuestResult &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("Warm start from the persistent artifact store",
                   "the persistence subsystem (no paper figure)");
 

@@ -12,8 +12,10 @@
 using namespace el;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("SPEC CPU2000 INT: IA-32 EL vs native Itanium",
                   "Figure 5");
 

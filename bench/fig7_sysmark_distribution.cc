@@ -11,8 +11,10 @@
 using namespace el;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("Execution time distribution, Sysmark-like suite",
                   "Figure 7");
 

@@ -39,8 +39,10 @@ suiteRatio(std::vector<guest::Workload> suite, bench::Report &rep,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("IA-32 EL on Itanium 2 (1.5GHz) vs Xeon (1.6GHz)",
                   "Figure 8");
 

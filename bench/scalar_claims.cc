@@ -14,8 +14,10 @@
 using namespace el;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("Scalar claims of sections 2/4/6", "sections 2, 4, 6");
 
     double cold_blocks = 0, cold_insns = 0, hot_blocks = 0, hot_insns = 0;

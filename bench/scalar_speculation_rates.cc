@@ -10,8 +10,10 @@
 using namespace el;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("FP/MMX/SSE speculation success rates", "section 5");
 
     uint64_t tos_miss = 0, tag_miss = 0, dom_miss = 0, fmt_miss = 0;

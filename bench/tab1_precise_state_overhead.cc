@@ -17,8 +17,10 @@ using namespace el::ia32;
 using guest::Layout;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (int rc = bench::handleArgs(argc, argv); rc >= 0)
+        return rc;
     bench::banner("Cold-code precise state (ordering + state register)",
                   "Table 1 / section 4");
 

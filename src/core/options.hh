@@ -177,6 +177,19 @@ struct Options
                                       //!< Registry::maybeEmit at
                                       //!< dispatch boundaries off the
                                       //!< simulated clock.
+
+    // ----- accounting audit (off by default; zero simulated cycles) -
+    bool audit = false;               //!< Run the machine-closure audit
+                                      //!< (core/audit.hh) periodically
+                                      //!< at adoption boundaries; the
+                                      //!< embedder (el_run --audit)
+                                      //!< additionally runs the full
+                                      //!< audit after quiesce. Implies
+                                      //!< collect_block_cycles — the
+                                      //!< closure identity needs the
+                                      //!< per-block books.
+    uint64_t audit_period = 1000000;  //!< Simulated cycles between
+                                      //!< in-run closure audits.
 };
 
 } // namespace el::core

@@ -24,6 +24,8 @@ postmortemJson(Runtime &rt, const PostmortemInfo &info)
     w.beginObject();
     w.kv("kind", "el-postmortem");
     w.kv("version", 1);
+    if (info.producer)
+        buildinfo::writeStamp(w, *info.producer);
     w.kv("workload", info.workload);
 
     w.key("exit");

@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/buildinfo.hh"
+
 namespace el::core
 {
 
@@ -34,6 +36,8 @@ struct PostmortemInfo
     int exit_code = 0;      //!< Process exit code being reported.
     bool resumed = false;   //!< Run was restored from a checkpoint.
     uint64_t checkpoint_seq = 0; //!< Capture ordinal resumed from.
+    //! Build/schema stamp for the bundle; unset leaves it unstamped.
+    const buildinfo::ProducerStamp *producer = nullptr;
 };
 
 /**

@@ -118,7 +118,8 @@ attributionOf(Runtime &rt)
 
 std::string
 runReportJson(Runtime &rt, const std::string &workload,
-              const GuestResult *guest)
+              const GuestResult *guest,
+              const buildinfo::ProducerStamp *producer)
 {
     ipf::Machine &m = rt.machine();
     const ipf::BucketStats &st = m.stats();
@@ -126,6 +127,10 @@ runReportJson(Runtime &rt, const std::string &workload,
 
     json::Writer w;
     w.beginObject();
+    w.kv("kind", "el-report");
+    w.kv("version", 1);
+    if (producer)
+        buildinfo::writeStamp(w, *producer);
     w.kv("workload", workload);
     w.kv("cycles", m.totalCycles());
     w.kv("retired_ipf_insns", m.retired());
@@ -229,12 +234,13 @@ runReportJson(Runtime &rt, const std::string &workload,
 
 bool
 writeRunReport(Runtime &rt, const std::string &workload,
-               const std::string &path, const GuestResult *guest)
+               const std::string &path, const GuestResult *guest,
+               const buildinfo::ProducerStamp *producer)
 {
     std::ofstream f(path, std::ios::binary);
     if (!f)
         return false;
-    f << runReportJson(rt, workload, guest);
+    f << runReportJson(rt, workload, guest, producer);
     return static_cast<bool>(f);
 }
 
@@ -259,7 +265,8 @@ insnKindName(prof::InsnKind k)
 
 std::string
 profileJson(Runtime &rt, const prof::Profiler &prof,
-            const std::string &workload)
+            const std::string &workload,
+            const buildinfo::ProducerStamp *producer)
 {
     ipf::Machine &m = rt.machine();
 
@@ -267,6 +274,8 @@ profileJson(Runtime &rt, const prof::Profiler &prof,
     w.beginObject();
     w.kv("kind", "el-profile");
     w.kv("version", 1);
+    if (producer)
+        buildinfo::writeStamp(w, *producer);
     w.kv("workload", workload);
     w.kv("cycles", m.totalCycles());
 
@@ -407,12 +416,13 @@ profileJson(Runtime &rt, const prof::Profiler &prof,
 
 bool
 writeProfile(Runtime &rt, const prof::Profiler &prof,
-             const std::string &workload, const std::string &path)
+             const std::string &workload, const std::string &path,
+             const buildinfo::ProducerStamp *producer)
 {
     std::ofstream f(path, std::ios::binary);
     if (!f)
         return false;
-    f << profileJson(rt, prof, workload);
+    f << profileJson(rt, prof, workload, producer);
     return static_cast<bool>(f);
 }
 

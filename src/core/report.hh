@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/buildinfo.hh"
+
 namespace el::prof
 {
 class Profiler;
@@ -84,12 +86,15 @@ Attribution attributionOf(Runtime &rt);
  * block with its simulated cycles and retired instructions.
  */
 std::string runReportJson(Runtime &rt, const std::string &workload,
-                          const GuestResult *guest = nullptr);
+                          const GuestResult *guest = nullptr,
+                          const buildinfo::ProducerStamp *producer =
+                              nullptr);
 
 /** Write runReportJson() to @p path; false on I/O failure. */
 bool writeRunReport(Runtime &rt, const std::string &workload,
                     const std::string &path,
-                    const GuestResult *guest = nullptr);
+                    const GuestResult *guest = nullptr,
+                    const buildinfo::ProducerStamp *producer = nullptr);
 
 /**
  * The execution profile as a JSON object string (`el_prof` renders it):
@@ -100,11 +105,14 @@ bool writeRunReport(Runtime &rt, const std::string &workload,
  * the profiler's own health counters.
  */
 std::string profileJson(Runtime &rt, const prof::Profiler &prof,
-                        const std::string &workload);
+                        const std::string &workload,
+                        const buildinfo::ProducerStamp *producer =
+                            nullptr);
 
 /** Write profileJson() to @p path; false on I/O failure. */
 bool writeProfile(Runtime &rt, const prof::Profiler &prof,
-                  const std::string &workload, const std::string &path);
+                  const std::string &workload, const std::string &path,
+                  const buildinfo::ProducerStamp *producer = nullptr);
 
 } // namespace el::core
 

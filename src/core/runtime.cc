@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "core/audit.hh"
 #include "core/checkpoint.hh"
 #include "ia32/decoder.hh"
 #include "ia32/flags.hh"
@@ -60,7 +61,9 @@ Runtime::Runtime(mem::Memory &memory, const btlib::BtOsVtable &vtable,
         std::make_unique<Translator>(options_, mem_, cache_, rt_base_);
 
     trace_ = options_.trace;
-    if (options_.collect_block_cycles)
+    // The audit's central closure identity needs the per-block books,
+    // so --audit forces block tracking on even when no report asked.
+    if (options_.collect_block_cycles || options_.audit)
         machine_->setTrackBlockCycles(true);
     sentinel_ = options_.sentinel;
     profiler_ = options_.profiler;
@@ -1169,6 +1172,25 @@ Runtime::run(ia32::State &state)
         // Block re-entry boundary: the only place finished pipeline
         // sessions become visible to the guest.
         adoptHotResults();
+        if (faultInjected(FaultSite::AcctSkew)) {
+            // Silent accounting corruption: cycles slipped into a
+            // bucket outside the charging paths, plus a phantom
+            // translation count. Guest execution is untouched — only
+            // the books lie, which is what the audit layer must
+            // catch (closure identity + flight cross-count).
+            machine_->stats().cycles[static_cast<size_t>(
+                ipf::Bucket::Overhead)] += 1000.0;
+            translator_->stats.add("xlate.cold_blocks");
+            stats_.add("audit.skew_injected");
+        }
+        if (options_.audit && machine_->totalCycles() >= next_audit_) {
+            audit_findings_.merge(auditClosure(*this));
+            uint64_t period = options_.audit_period
+                                  ? options_.audit_period
+                                  : 1000000;
+            while (next_audit_ <= machine_->totalCycles())
+                next_audit_ += static_cast<double>(period);
+        }
         if (profiler_)
             profiler_->maybeSample(machine_->totalCycles());
         if (options_.metrics)

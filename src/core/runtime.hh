@@ -24,6 +24,7 @@
 #include "ia32/state.hh"
 #include "ipf/machine.hh"
 #include "mem/memory.hh"
+#include "support/audit.hh"
 #include "support/faultinject.hh"
 #include "support/flightrec.hh"
 #include "support/ring.hh"
@@ -84,6 +85,15 @@ class Runtime
 
     /** Dispatch-loop lookups serviced so far (monotonic). */
     uint64_t dispatchLookups() const { return dispatch_lookups_; }
+
+    /**
+     * Violations found by the periodic in-run closure audit
+     * (Options::audit). Empty when auditing is off or the books
+     * closed. The embedder merges this into its end-of-run full audit
+     * so a corruption that appeared mid-run is reported even if later
+     * churn happened to re-balance the totals.
+     */
+    const audit::Result &auditFindings() const { return audit_findings_; }
 
     /** The always-on flight recorder (null when Options disabled it). */
     flight::FlightRecorder *flight() { return flight_.get(); }
@@ -236,6 +246,9 @@ class Runtime
     uint64_t dispatch_lookups_ = 0; //!< dispatchEntry() calls (sampled
                                     //!< by the profiler time series).
     double fault_overhead_cycles_ = 0;
+    double next_audit_ = 0;         //!< Next in-run closure audit, in
+                                    //!< simulated cycles.
+    audit::Result audit_findings_;  //!< Accumulated in-run violations.
 
     // Divergence-sentinel checkpoint state. All dead weight when
     // sentinel_ is null (one branch per dispatch, zero cycles).

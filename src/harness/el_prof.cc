@@ -10,9 +10,12 @@
  *   --annotate[=N] the top-N blocks with their IA-32 disassembly and
  *                  the joined per-translation IPF cycle costs
  *   --csv[=file]   the sampled time series as CSV (stdout by default)
- *   --check        schema validation only (used by CI on the uploaded
+ *   --check        schema validation (used by CI on the uploaded
  *                  artifact); exits 0 when the file is a well-formed
- *                  profile, 2 otherwise
+ *                  profile with no dropped telemetry, 3 when it is
+ *                  well-formed but lossy (ring overflow dropped
+ *                  samples; --allow-drops downgrades this back to 0),
+ *                  2 otherwise
  */
 
 #include <algorithm>
@@ -42,7 +45,9 @@ usage()
         "  --annotate[=<n>] annotated listing of the <n> hottest\n"
         "                   blocks (default 5)\n"
         "  --csv[=<file>]   dump the time series as CSV\n"
-        "  --check          validate the schema and exit (0 = ok)\n"
+        "  --check          validate the schema and exit (0 = ok,\n"
+        "                   3 = valid but telemetry was dropped)\n"
+        "  --allow-drops    with --check, accept dropped telemetry\n"
         "  --provenance[=<eip>|all]\n"
         "                   read a postmortem bundle (el_run\n"
         "                   --dump-on-exit) instead of a profile and\n"
@@ -412,6 +417,7 @@ main(int argc, char **argv)
     std::string path, csv_path, prov_filter;
     size_t top = 10, annotate = 0;
     bool csv = false, check = false, provenance = false;
+    bool allow_drops = false;
 
     el::initLogLevelFromEnv(); // Explicit --log-level overrides.
 
@@ -434,6 +440,8 @@ main(int argc, char **argv)
             csv_path = arg.c_str() + 6;
         } else if (arg == "--check") {
             check = true;
+        } else if (arg == "--allow-drops") {
+            allow_drops = true;
         } else if (arg == "--provenance") {
             provenance = true;
         } else if (arg.compare(0, 13, "--provenance=") == 0 &&
@@ -491,9 +499,26 @@ main(int argc, char **argv)
         return 2;
     }
     if (check) {
-        std::printf("%s: valid el-profile (%s, %.0f events)\n",
+        // A lossy profile is schema-valid but its per-block numbers
+        // under-count; CI gates on that separately from malformedness
+        // so a run that merely needs a bigger sample ring doesn't read
+        // as a corrupted artifact.
+        double drops = 0;
+        for (const auto &[name, v] : root.find("counters")->obj)
+            if (v.isNumber() && name.find("dropped") != std::string::npos)
+                drops += v.num;
+        if (drops > 0 && !allow_drops) {
+            std::fprintf(stderr,
+                         "el_prof: %s: valid el-profile but %.0f "
+                         "telemetry records were dropped (rerun with a "
+                         "larger ring, or pass --allow-drops)\n",
+                         path.c_str(), drops);
+            return 3;
+        }
+        std::printf("%s: valid el-profile (%s, %.0f events%s)\n",
                     path.c_str(), root.strOr("workload", "?").c_str(),
-                    root.find("counters")->numberOr("prof.events", 0));
+                    root.find("counters")->numberOr("prof.events", 0),
+                    drops > 0 ? ", drops allowed" : "");
         return 0;
     }
     if (csv)

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "btlib/abi.hh"
+#include "core/audit.hh"
 #include "core/checkpoint.hh"
 #include "core/postmortem.hh"
 #include "core/report.hh"
@@ -30,6 +31,7 @@
 #include "ia32/assembler.hh"
 #include "harness/exec.hh"
 #include "persist/store.hh"
+#include "support/buildinfo.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/profile.hh"
@@ -46,12 +48,22 @@ using namespace el;
 // (fault), the translator's (internal), or a caught miscompile
 // (divergence — the sentinel's verdict takes precedence because it
 // means translated execution was wrong, whatever else happened).
+// exit_audit is weaker than all of those: the guest ran and exited
+// cleanly but the accounting books did not close, so the run's
+// *numbers* cannot be trusted — it only ever upgrades an exit_ok.
 constexpr int exit_ok = 0;
 constexpr int exit_usage = 1;
 constexpr int exit_io = 2;
 constexpr int exit_guest_fault = 10;
 constexpr int exit_internal = 20;
 constexpr int exit_divergence = 30;
+constexpr int exit_audit = 40;
+
+// Whether --audit defaults on; CMake sets this to 1 in Debug builds
+// so every local debug run and the sanitizer CI jobs audit for free.
+#ifndef EL_AUDIT_DEFAULT
+#define EL_AUDIT_DEFAULT 0
+#endif
 
 void
 usage()
@@ -84,7 +96,8 @@ usage()
         "                         (sites: btos_alloc, cold_xlate_abort,\n"
         "                         hot_xlate_abort, cache_exhaust,\n"
         "                         guest_fault_storm, miscompile,\n"
-        "                         store_corrupt; crash points that\n"
+        "                         store_corrupt, acct_skew; crash\n"
+        "                         points that\n"
         "                         _exit(43) the process mid-protocol:\n"
         "                         crash_journal_append,\n"
         "                         crash_store_rename, crash_checkpoint,\n"
@@ -118,6 +131,16 @@ usage()
         "                         when --dump-on-exit is given\n"
         "  --dump-on-exit         write the postmortem bundle even on\n"
         "                         a clean exit\n"
+        "  --audit                cross-check the run's accounting:\n"
+        "                         periodic cycle-closure audits during\n"
+        "                         the run plus a full audit (flight\n"
+        "                         cross-counts, provenance legality,\n"
+        "                         schema self-checks) at exit;\n"
+        "                         violations exit 40 (default on in\n"
+        "                         Debug builds)\n"
+        "  --no-audit             disable the accounting audit\n"
+        "  --audit-period=<n>     simulated cycles between in-run\n"
+        "                         closure audits (default 1000000)\n"
         "  --no-flight            disable the always-on flight\n"
         "                         recorder + provenance ledger (A/B\n"
         "                         overhead comparisons)\n"
@@ -213,6 +236,7 @@ main(int argc, char **argv)
     uint64_t metrics_period = 50000;
     bool dump_on_exit = false;
     core::Options options;
+    options.audit = EL_AUDIT_DEFAULT != 0;
     prof::Config prof_cfg;
     sentinel::Config sentinel_cfg;
     bool list = false;
@@ -296,6 +320,12 @@ main(int argc, char **argv)
             postmortem_out = v;
         } else if (arg == "--dump-on-exit") {
             dump_on_exit = true;
+        } else if (arg == "--audit") {
+            options.audit = true;
+        } else if (arg == "--no-audit") {
+            options.audit = false;
+        } else if (const char *v = value("--audit-period=")) {
+            options.audit_period = static_cast<uint64_t>(std::atoll(v));
         } else if (arg == "--no-flight") {
             options.flight_recorder = false;
         } else if (const char *v = value("--flight-ring=")) {
@@ -376,9 +406,14 @@ main(int argc, char **argv)
         return exit_usage;
     }
 
-    persist::Fingerprint fp;
-    if (!cache_dir.empty() || !checkpoint_dir.empty())
-        fp = persist::fingerprintOf(wl->image, options);
+    // Always computed: every emitted artifact is stamped with the
+    // image+options fingerprint so el_diff can refuse to compare runs
+    // of different guests.
+    persist::Fingerprint fp = persist::fingerprintOf(wl->image, options);
+    buildinfo::ProducerStamp stamp =
+        buildinfo::ProducerStamp::make("el_run", fp.hex());
+    if (!metrics_out.empty())
+        metrics.setProducer(stamp);
 
     persist::ArtifactStore store;
     bool warm = false;
@@ -462,7 +497,7 @@ main(int argc, char **argv)
     }
     if (!report_json.empty()) {
         if (!core::writeRunReport(*run.runtime, wl->name, report_json,
-                                  &guest)) {
+                                  &guest, &stamp)) {
             std::fprintf(stderr, "el_run: cannot write %s\n",
                          report_json.c_str());
             return exit_io;
@@ -471,7 +506,7 @@ main(int argc, char **argv)
     }
     if (!profile_out.empty()) {
         if (!core::writeProfile(*run.runtime, profiler, wl->name,
-                                profile_out)) {
+                                profile_out, &stamp)) {
             std::fprintf(stderr, "el_run: cannot write %s\n",
                          profile_out.c_str());
             return exit_io;
@@ -586,6 +621,32 @@ main(int argc, char **argv)
         exit_class = "internal";
     }
 
+    if (options.audit) {
+        // Everything the in-run closure audits accumulated, plus the
+        // full cross-view audit (flight counts, provenance legality,
+        // schema self-checks) — legal here because runTranslated()
+        // already quiesced the pipeline. An audit failure only ever
+        // *upgrades* a clean exit: a guest fault or divergence is
+        // strictly more important than untrustworthy numbers.
+        core::AuditContext actx;
+        actx.workload = wl->name;
+        actx.producer = &stamp;
+        audit::Result audit_result = run.runtime->auditFindings();
+        audit_result.merge(core::auditRun(*run.runtime, actx));
+        std::printf("audit: %llu check(s), %zu violation(s)\n",
+                    static_cast<unsigned long long>(
+                        audit_result.checksRun()),
+                    audit_result.violations().size());
+        if (!audit_result.ok()) {
+            std::fprintf(stderr, "el_run: %s\n",
+                         audit_result.summary().c_str());
+            if (code == exit_ok) {
+                code = exit_audit;
+                exit_class = "audit";
+            }
+        }
+    }
+
     const FaultInjector *fi = run.runtime->faultInjector();
     bool injected = fi && fi->totalFires() > 0;
     if (code != exit_ok || injected || dump_on_exit) {
@@ -595,6 +656,7 @@ main(int argc, char **argv)
         pm.exit_code = code;
         pm.resumed = resumed;
         pm.checkpoint_seq = resumed ? resume_img.seq : 0;
+        pm.producer = &stamp;
         if (!core::writePostmortem(*run.runtime, pm, postmortem_out))
             std::fprintf(stderr, "el_run: cannot write %s\n",
                          postmortem_out.c_str());

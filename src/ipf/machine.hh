@@ -245,7 +245,18 @@ class Machine
     chargeCycles(Bucket bucket, double cycles)
     {
         stats_.cycles[static_cast<size_t>(bucket)] += cycles;
+        synthetic_cycles_ += cycles;
     }
+
+    /**
+     * Total cycles charged via chargeCycles() rather than executed
+     * groups. Closes the block-level accounting books: when block
+     * tracking is on, Σ blockCosts().cycles + syntheticCycles() equals
+     * totalCycles() exactly — the auditor's core closure invariant.
+     * Cycles added to stats() directly (the seeded accounting-skew
+     * fault does exactly that) break the identity and are caught.
+     */
+    double syntheticCycles() const { return synthetic_cycles_; }
 
     double totalCycles() const { return stats_.totalCycles(); }
 
@@ -302,6 +313,7 @@ class Machine
     std::array<int8_t, num_frs> grp_fr_writer_{};
 
     BucketStats stats_;
+    double synthetic_cycles_ = 0.0;
     std::array<double, static_cast<size_t>(Bucket::NumBuckets)>
         misalign_cycles_{};
     std::map<int32_t, BlockCost> block_costs_;

@@ -1,0 +1,21 @@
+#include "support/audit.hh"
+
+#include "support/strfmt.hh"
+
+namespace el::audit
+{
+
+std::string
+Result::summary() const
+{
+    std::string out =
+        strfmt("audit: %llu check(s), %zu violation(s)",
+               static_cast<unsigned long long>(checks_run_),
+               violations_.size());
+    for (const Violation &v : violations_)
+        out += strfmt("\n  FAIL %s: %s", v.check.c_str(),
+                      v.detail.c_str());
+    return out;
+}
+
+} // namespace el::audit

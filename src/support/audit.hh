@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Accounting-audit framework: named invariant checks with a violation
+ * report.
+ *
+ * The runtime's telemetry (cycle buckets, per-block costs, StatGroup
+ * counters, flight events, provenance timelines, serialized reports)
+ * describes the same execution from several angles; when two of those
+ * angles disagree, every number downstream — bench deltas, el_diff
+ * attributions, paper figures — is suspect. This header is the
+ * mechanism layer: a `Checker` accumulates pass/fail verdicts for
+ * named invariants, and the core-level auditor (core/audit.hh) walks a
+ * Runtime applying the actual invariant table. Keeping the mechanism
+ * in support lets `el_diff` and the tests consume audit results
+ * without linking the core.
+ */
+
+#ifndef EL_SUPPORT_AUDIT_HH
+#define EL_SUPPORT_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace el::audit
+{
+
+/** One failed invariant: which check, and the numbers that disagreed. */
+struct Violation
+{
+    std::string check;  //!< Invariant name, e.g. "closure.blocks".
+    std::string detail; //!< Human-readable mismatch description.
+};
+
+/** The outcome of one audit pass. */
+class Result
+{
+  public:
+    /** Record one invariant verdict; @p detail only read on failure. */
+    void
+    check(bool ok, const std::string &name, const std::string &detail)
+    {
+        ++checks_run_;
+        if (!ok)
+            violations_.push_back({name, detail});
+    }
+
+    /** Record an unconditional failure (e.g. unparseable artifact). */
+    void
+    fail(const std::string &name, const std::string &detail)
+    {
+        check(false, name, detail);
+    }
+
+    void
+    merge(const Result &o)
+    {
+        checks_run_ += o.checks_run_;
+        violations_.insert(violations_.end(), o.violations_.begin(),
+                           o.violations_.end());
+    }
+
+    bool ok() const { return violations_.empty(); }
+    uint64_t checksRun() const { return checks_run_; }
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Multi-line human summary ("audit: N checks, M violation(s)"
+     *  plus one line per violation). */
+    std::string summary() const;
+
+  private:
+    uint64_t checks_run_ = 0;
+    std::vector<Violation> violations_;
+};
+
+} // namespace el::audit
+
+#endif // EL_SUPPORT_AUDIT_HH

@@ -1,0 +1,17 @@
+#include "support/buildinfo.hh"
+
+// EL_BUILD_VERSION is injected by CMake from `git describe` at
+// configure time; fall back so tarball builds still stamp something.
+#ifndef EL_BUILD_VERSION
+#define EL_BUILD_VERSION "unknown"
+#endif
+
+namespace el::buildinfo {
+
+const char *
+buildVersion()
+{
+    return EL_BUILD_VERSION;
+}
+
+} // namespace el::buildinfo

@@ -31,6 +31,8 @@ faultSiteName(FaultSite site)
         return "miscompile";
       case FaultSite::StoreCorrupt:
         return "store_corrupt";
+      case FaultSite::AcctSkew:
+        return "acct_skew";
       case FaultSite::CrashJournalAppend:
         return "crash_journal_append";
       case FaultSite::CrashStoreRename:

@@ -43,6 +43,10 @@ enum class FaultSite : uint8_t
                      //!< corrupted (the divergence sentinel's prey).
     StoreCorrupt,    //!< The artifact store writes a file with one
                      //!< flipped byte (the hardened loader's prey).
+    AcctSkew,        //!< Cycle accounting silently corrupted: cycles
+                     //!< added to a bucket outside the charging paths
+                     //!< plus a phantom counter bump (the accounting
+                     //!< auditor's prey).
     // ----- CrashPoint family: the site _exit()s the whole process ----
     // These simulate kill -9 at the crash-consistency protocol's
     // distinct windows. Each fires at most once (the process dies), and

@@ -43,6 +43,8 @@ Registry::snapshotJson(double cycle) const
     w.beginObject();
     w.kv("kind", "el-metrics");
     w.kv("version", 1);
+    if (have_producer_)
+        buildinfo::writeStamp(w, producer_);
     w.kv("cycle", cycle);
     w.key("gauges");
     w.beginObject();

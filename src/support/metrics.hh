@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "support/buildinfo.hh"
 #include "support/stats.hh"
 
 namespace el::metrics
@@ -66,6 +67,15 @@ class Registry
     /** Simulated cycles between snapshots (0 disables maybeEmit). */
     void setPeriod(uint64_t cycles) { period_ = cycles; }
     uint64_t period() const { return period_; }
+
+    /** Stamp every snapshot line with a build/schema provenance
+     *  header. Optional: embedders without one emit unstamped lines. */
+    void
+    setProducer(const buildinfo::ProducerStamp &stamp)
+    {
+        producer_ = stamp;
+        have_producer_ = true;
+    }
 
     /** Open @p path for NDJSON output; false on I/O failure. */
     bool openOutput(const std::string &path);
@@ -115,6 +125,8 @@ class Registry
     std::vector<Gauge> gauges_;
     std::vector<CounterGroup> counter_groups_;
     std::vector<Hist> histograms_;
+    buildinfo::ProducerStamp producer_;
+    bool have_producer_ = false;
     uint64_t period_ = 0;
     double next_emit_ = 0;
     uint64_t snapshots_ = 0;

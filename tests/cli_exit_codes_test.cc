@@ -3,7 +3,8 @@
  * Exit-code hygiene for the el_run CLI: scripts and CI must be able to
  * tell *whose fault* a failed run was from the exit code alone —
  * 0 success, 1 usage, 10 the guest's own fault, 20 a translator
- * internal error, 30 a sentinel-detected divergence. The binary under
+ * internal error, 30 a sentinel-detected divergence, 40 an accounting
+ * audit violation on an otherwise-clean run. The binary under
  * test comes from the EL_RUN_BIN environment variable, which the CMake
  * test registration points at the just-built el_run.
  *
@@ -133,6 +134,30 @@ TEST(CliExitCodes, SentinelDivergenceIsThirty)
               30);
 }
 
+TEST(CliExitCodes, AuditViolationIsForty)
+{
+    // The acct_skew site corrupts only the books — it adds phantom
+    // Overhead cycles and a phantom cold-translation count without
+    // touching guest execution — so the run itself succeeds and the
+    // only witness is the auditor's closure check.
+    EXPECT_EQ(runCli("--workload=jit_rewriter --audit "
+                     "--fault=acct_skew:1024"),
+              40);
+    // Same corruption without --audit: nobody is checking the books,
+    // the run exits clean. This is exactly why CI turns the audit on.
+    EXPECT_EQ(runCli("--workload=jit_rewriter --no-audit "
+                     "--fault=acct_skew:1024"),
+              0);
+}
+
+TEST(CliExitCodes, AuditPassesCleanRuns)
+{
+    EXPECT_EQ(runCli("--workload=jit_rewriter --audit"), 0);
+    EXPECT_EQ(runCli("--workload=jit_rewriter --audit --threads=2 "
+                     "--deterministic"),
+              0);
+}
+
 // ----- postmortem bundles on abnormal exit ------------------------------
 
 TEST(CliPostmortem, CleanRunWritesNoBundle)
@@ -215,6 +240,25 @@ TEST(CliPostmortem, InternalErrorBundleRecordsInitFailure)
             s.numberOr("fires", 0) > 0)
             named = true;
     EXPECT_TRUE(named) << "bundle does not name the btos_alloc site";
+}
+
+TEST(CliPostmortem, AuditViolationBundleIsClassAudit)
+{
+    using el::json::Value;
+    Value root;
+    std::string path = tmpBundlePath("audit");
+    int code = runCliWithBundle(
+        "--workload=jit_rewriter --audit --fault=acct_skew:1024", path,
+        &root);
+    EXPECT_EQ(code, 40);
+    expectBundleSchema(root, "audit", 40);
+    // The stamp satellite: every bundle names its producer so readers
+    // (el_prof --provenance, el_diff) can refuse mismatched inputs.
+    const Value *producer = root.find("producer");
+    ASSERT_NE(producer, nullptr);
+    EXPECT_EQ(producer->strOr("tool", ""), "el_run");
+    EXPECT_NE(producer->strOr("build", ""), "");
+    EXPECT_EQ(producer->numberOr("schema", 0), 1.0);
 }
 
 TEST(CliPostmortem, DivergenceBundleCarriesTheSentinelLedger)

@@ -5,6 +5,7 @@ Usage:
     bench_diff.py [--tolerance=0.15] <baseline.json> <current.json>
     bench_diff.py --sweep [--tolerance=0.15] <baseline_dir> <current_dir>
     bench_diff.py --list <report.json>
+    bench_diff.py --attribute <base_report.json> <cur_report.json>
 
 Each bench binary writes a machine-readable report with a "scalars"
 object (headline aggregates) and an optional "tolerances" object
@@ -32,6 +33,18 @@ only out-of-tolerance pairs fail the sweep.
 tolerance that would apply) without comparing anything — handy for
 seeing what a committed baseline actually pins down.
 
+When a pair of reports fails, the diff also ranks the top attributed
+contributors to the movement: bench rows carry the Figure-6 cycle
+attribution per configuration, so "which phase of which row moved
+most" prints right under the failing scalar instead of requiring a
+separate archaeology session.
+
+--attribute hands off to the `el_diff` binary for full per-block
+attribution of two `el_run --report-json` documents (NOT bench
+reports). The binary is found via --el-diff-bin=<path>, then the
+EL_DIFF_BIN environment variable, then $PATH; its exit status is
+propagated (3 = incompatible runs).
+
 Exit status: 0 when everything is within tolerance, 1 on any failure,
 2 on unreadable/malformed input. CI runs this warn-only (the simulator
 is deterministic, but headline numbers legitimately move when the
@@ -41,6 +54,7 @@ translator changes; the diff is a visibility tool, not a gate).
 import json
 import numbers
 import os
+import subprocess
 import sys
 
 
@@ -94,6 +108,39 @@ def list_report(path, default_tol):
     return 0
 
 
+ATTRIBUTION_PHASES = ("cold_code", "hot_code", "btgeneric",
+                      "fault_handling", "native", "idle")
+
+
+def attribution_contributors(baseline, current, top=3):
+    """Rank (row label, phase) attribution deltas between two bench
+    reports, largest absolute cycle movement first. Rows are matched
+    by label; rows without attribution (no translated run) are
+    skipped."""
+    def attr_rows(doc):
+        out = {}
+        for row in doc.get("rows", []):
+            if not isinstance(row, dict):
+                continue
+            attr = row.get("attribution")
+            if isinstance(attr, dict):
+                out[row.get("label")] = attr
+        return out
+
+    base_rows = attr_rows(baseline)
+    deltas = []
+    for label, attr in attr_rows(current).items():
+        base = base_rows.get(label)
+        if base is None:
+            continue
+        for phase in ATTRIBUTION_PHASES:
+            d = attr.get(phase, 0) - base.get(phase, 0)
+            if d:
+                deltas.append((abs(d), label, phase, d))
+    deltas.sort(key=lambda t: (-t[0], t[1], t[2]))
+    return deltas[:top]
+
+
 def diff_reports(baseline, current, default_tol):
     """Compare two loaded reports; print per-scalar verdicts and
     return the number of out-of-tolerance scalars."""
@@ -120,6 +167,12 @@ def diff_reports(baseline, current, default_tol):
               f"({change * 100.0:+.1f}% vs tol {tol * 100.0:.0f}%)")
     for key in sorted(set(cur_scalars) - set(base_scalars)):
         print(f"  new  {key}: {cur_scalars[key]:.6g} (not in baseline)")
+    if failures:
+        contributors = attribution_contributors(baseline, current)
+        if contributors:
+            print("  top attributed contributors to the movement:")
+            for _, label, phase, d in contributors:
+                print(f"    {label} / {phase}: {d:+.0f} cycles")
     return failures
 
 
@@ -166,10 +219,26 @@ def sweep(base_dir, cur_dir, default_tol):
     return 1 if failures else 0
 
 
+def attribute(paths, el_diff_bin):
+    """Shell out to el_diff for per-block attribution of two el_run
+    reports; propagate its exit status."""
+    binary = el_diff_bin or os.environ.get("EL_DIFF_BIN") or "el_diff"
+    try:
+        return subprocess.call([binary] + paths)
+    except OSError as e:
+        print(f"bench_diff: cannot run {binary}: {e.strerror} "
+              f"(build el_diff, then point --el-diff-bin= or the "
+              f"EL_DIFF_BIN environment variable at it)",
+              file=sys.stderr)
+        return 2
+
+
 def main(argv):
     default_tol = 0.15
     list_mode = False
     sweep_mode = False
+    attribute_mode = False
+    el_diff_bin = ""
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--tolerance="):
@@ -183,6 +252,10 @@ def main(argv):
             list_mode = True
         elif arg == "--sweep":
             sweep_mode = True
+        elif arg == "--attribute":
+            attribute_mode = True
+        elif arg.startswith("--el-diff-bin="):
+            el_diff_bin = arg[len("--el-diff-bin="):]
         elif arg in ("-h", "--help"):
             print(__doc__)
             return 0
@@ -191,6 +264,14 @@ def main(argv):
             return 2
         else:
             paths.append(arg)
+
+    if attribute_mode:
+        if len(paths) != 2:
+            print("usage: bench_diff.py --attribute "
+                  "[--el-diff-bin=<path>] <base_report.json> "
+                  "<cur_report.json>", file=sys.stderr)
+            return 2
+        return attribute(paths, el_diff_bin)
 
     if list_mode:
         if len(paths) != 1:
